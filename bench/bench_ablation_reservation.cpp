@@ -1,0 +1,67 @@
+// Ablation A — prudent reservation on/off.
+//
+// With Alg. 1 disabled the probabilistic streams may still overlap shared
+// TCT slots, but no extra slots absorb the displacement: shared TCT
+// streams lose frames to the ECT and miss deadlines.  This isolates the
+// protection mechanism of §III-D.
+//
+// Two scenarios: the paper's event rate (min interevent 16 ms — at most
+// one event near any stream's transmission burst), and a stress variant
+// (4 ms events) that probes the boundary of Alg. 1's accounting, where
+// a small residue of interactions beyond the reserved extras remains
+// even with reservation on (see EXPERIMENTS.md).
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace etsn;
+  using namespace etsn::bench;
+  Args args = Args::parse(argc, argv);
+
+  printHeader("Ablation: prudent reservation (testbed, 75% load)");
+
+  struct Scenario {
+    const char* name;
+    TimeNs interevent;
+  } scenarios[] = {
+      {"paper event rate (min interevent 16ms)", milliseconds(16)},
+      {"stress event rate (min interevent 4ms)", milliseconds(4)},
+  };
+
+  for (const auto& sc : scenarios) {
+    std::printf("\n=== %s ===\n", sc.name);
+    for (const bool prudent : {true, false}) {
+      Experiment ex = testbedExperiment(args, sched::Method::ETSN, 0.75);
+      ex.specs.back().period = sc.interevent;
+      ex.specs.back().maxLatency = sc.interevent;
+      ex.options.config.prudentReservation = prudent;
+      const ExperimentResult r = runExperiment(ex);
+      std::printf("\nprudent reservation %s:\n", prudent ? "ON " : "OFF");
+      if (!r.feasible) {
+        std::printf("  schedule infeasible\n");
+        continue;
+      }
+      printEctRow("  E-TSN", r);
+      long long misses = 0;
+      long long worstOverrun = 0;
+      long long delivered = 0;
+      for (const StreamResult& s : r.streams) {
+        if (s.type != net::TrafficClass::TimeTriggered) continue;
+        misses += s.deadlineMisses;
+        delivered += s.delivered;
+        if (s.deadline > 0 && s.latency.maxNs > s.deadline) {
+          worstOverrun = std::max<long long>(worstOverrun,
+                                             s.latency.maxNs - s.deadline);
+        }
+      }
+      std::printf("  TCT deadline misses: %lld / %lld messages, "
+                  "worst overrun: %.1fus\n",
+                  misses, delivered,
+                  static_cast<double>(worstOverrun) / 1000.0);
+    }
+  }
+  std::printf("\nExpected: at the paper's event rate reservation ON keeps "
+              "TCT at zero misses\nwhile OFF loses frames to encroachment; "
+              "the stress rate exceeds Alg. 1's\naccounting and leaves a "
+              "small residue even when ON.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Fig. 15 — impact of ECT on TCT under E-TSN: ten of the forty TCT streams
+// are more important than the ECT and do not share their slots.  Two runs
+// (without and with randomly generated ECT) compare the latency of three
+// sharing and three non-sharing TCT streams; the worst case must stay
+// below each stream's maximum allowed latency (§VI-C2).
+#include <algorithm>
+
+#include "harness.h"
+
+int main(int argc, char** argv) {
+  using namespace etsn;
+  using namespace etsn::bench;
+  Args args = Args::parse(argc, argv);
+
+  printHeader("Fig. 15: TCT latency with and without ECT (E-TSN, "
+              "simulation topology, 50% load, 10/40 non-shared)");
+
+  // Build once; the "without ECT" run simply never fires events (the
+  // paper transmits no ECT in its first run).  Flow isolation (the
+  // stream-level strategy of Craciunas et al. [8]) makes the prudent-
+  // reservation accounting exact under displacement; the default frame-
+  // level Presence mode can leak reserved capacity between same-queue
+  // streams scheduled with very little slack — both are reported below.
+  auto build = [&](bool withEct, sched::SchedulerConfig::Isolation iso) {
+    Experiment ex =
+        simulationExperiment(args, sched::Method::ETSN, 0.5, 1,
+                             /*numNonShared=*/10);
+    ex.options.config.isolation = iso;
+    if (!withEct) {
+      // Same schedule (reservations included), but no events fire.
+      ex.simConfig.suppressEctTraffic = true;
+    }
+    return ex;
+  };
+  const auto iso = sched::SchedulerConfig::Isolation::Flow;
+  std::printf("(isolation mode: Flow — see EXPERIMENTS.md)\n");
+
+  const ExperimentResult without = runExperiment(build(false, iso));
+  const ExperimentResult with = runExperiment(build(true, iso));
+  if (!without.feasible || !with.feasible) {
+    std::printf("schedule infeasible\n");
+    return 1;
+  }
+
+  // Three non-shared and three shared streams, as in the paper's figure.
+  // Streams 0..9 are non-shared by construction; among the shared ones,
+  // show those the ECT actually perturbs (largest worst-case growth), so
+  // the "latency may grow, within the bound" effect is visible.
+  const int nonShared[] = {0, 1, 2};
+  std::vector<int> sharedIdx;
+  for (int i = 10; i < 40; ++i) sharedIdx.push_back(i);
+  std::sort(sharedIdx.begin(), sharedIdx.end(), [&](int x, int y) {
+    const auto grow = [&](int i) {
+      return with.streams[static_cast<std::size_t>(i)].latency.maxNs -
+             without.streams[static_cast<std::size_t>(i)].latency.maxNs;
+    };
+    return grow(x) > grow(y);
+  });
+  const int shared[] = {sharedIdx[0], sharedIdx[1], sharedIdx[2]};
+
+  auto row = [&](const ExperimentResult& r, int idx) {
+    const StreamResult& s = r.streams[static_cast<std::size_t>(idx)];
+    std::printf("  %-8s min=%8.1f avg=%8.1f max=%8.1f us  (allowed %8.1f)"
+                "  misses=%lld\n",
+                s.name.c_str(),
+                static_cast<double>(s.latency.minNs) / 1000.0,
+                s.latency.meanUs(), s.latency.maxUs(),
+                static_cast<double>(s.deadline) / 1000.0,
+                static_cast<long long>(s.deadlineMisses));
+  };
+
+  std::printf("\nnon-shared TCT streams (unaffected by ECT):\n");
+  for (const int i : nonShared) {
+    std::printf(" without ECT:");
+    row(without, i);
+    std::printf(" with    ECT:");
+    row(with, i);
+  }
+  std::printf("\nshared TCT streams (latency may grow, bounded by the "
+              "allowed maximum):\n");
+  for (const int i : shared) {
+    std::printf(" without ECT:");
+    row(without, i);
+    std::printf(" with    ECT:");
+    row(with, i);
+  }
+
+  long long misses = totalTctMisses(with) + totalTctMisses(without);
+  std::printf("\ntotal TCT deadline misses across all 40 streams, both "
+              "runs: %lld (paper: requirements always met)\n", misses);
+
+  // Comparison: the default frame-level (Presence) isolation on the same
+  // workload — reserved capacity can migrate between same-queue streams
+  // under displacement, so a stream scheduled with very little slack may
+  // exceed its bound (a measured boundary of Alg. 1's per-stream
+  // accounting; see EXPERIMENTS.md).
+  const ExperimentResult presence = runExperiment(
+      build(true, sched::SchedulerConfig::Isolation::Presence));
+  if (presence.feasible) {
+    std::printf("same workload with frame-level (Presence) isolation: "
+                "%lld TCT misses\n", totalTctMisses(presence));
+  }
+  return 0;
+}

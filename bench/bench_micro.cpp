@@ -1,0 +1,133 @@
+// Microbenchmarks (google-benchmark): the substrates' hot paths — SAT/IDL
+// solving, GCL lookups, Ethernet arithmetic, and simulator event
+// throughput.
+#include <benchmark/benchmark.h>
+
+#include "net/ethernet.h"
+#include "net/gcl.h"
+#include "net/topology.h"
+#include "sim/kernel.h"
+#include "sim/port.h"
+#include "smt/solver.h"
+#include "stats/latency.h"
+
+namespace {
+
+using namespace etsn;
+
+void BM_SmtDisjunctiveScheduling(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    smt::Solver s;
+    std::vector<smt::IntVar> t;
+    for (int i = 0; i < tasks; ++i) {
+      t.push_back(s.intVar());
+      s.require(s.ge(t.back(), 0));
+      s.require(s.le(t.back(), 10 * tasks));
+    }
+    for (int i = 0; i < tasks; ++i) {
+      for (int j = i + 1; j < tasks; ++j) {
+        s.addOr(s.leq(t[static_cast<std::size_t>(i)],
+                      t[static_cast<std::size_t>(j)], -10),
+                s.leq(t[static_cast<std::size_t>(j)],
+                      t[static_cast<std::size_t>(i)], -10));
+      }
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SmtDisjunctiveScheduling)->Arg(5)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_IdlAssertChain(benchmark::State& state) {
+  for (auto _ : state) {
+    smt::Solver s;
+    smt::IntVar prev = s.intVar();
+    s.require(s.ge(prev, 0));
+    for (int i = 0; i < 200; ++i) {
+      const smt::IntVar next = s.intVar();
+      s.require(s.leq(prev, next, -5));
+      prev = next;
+    }
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_IdlAssertChain);
+
+void BM_GclLookup(benchmark::State& state) {
+  net::GclBuilder b(milliseconds(16));
+  for (int i = 0; i < 64; ++i) {
+    b.open(i % 8, microseconds(i * 250), microseconds(i * 250 + 120));
+  }
+  const net::Gcl gcl = b.build();
+  TimeNs t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcl.gateOpen(5, t));
+    t += microseconds(37);
+  }
+}
+BENCHMARK(BM_GclLookup);
+
+void BM_EthernetMath(benchmark::State& state) {
+  int payload = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::frameTxTime(payload, 100'000'000));
+    payload = payload % 1500 + 1;
+  }
+}
+BENCHMARK(BM_EthernetMath);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 100000) {
+        sim.after(microseconds(1), sim::EventClass::Control, tick);
+      }
+    };
+    sim.at(0, sim::EventClass::Control, tick);
+    sim.run(seconds(1));
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_PortSaturatedLink(benchmark::State& state) {
+  net::Topology topo;
+  topo.addDevice("A");
+  topo.addDevice("B");
+  topo.connect(0, 1);
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Clock clock;
+    std::int64_t delivered = 0;
+    sim::EgressPort port(sim, topo.link(0), nullptr, &clock,
+                         [&](const sim::Frame&, TimeNs) { ++delivered; });
+    for (int i = 0; i < 1000; ++i) {
+      sim::Frame f;
+      f.priority = i % 8;
+      f.payloadBytes = 1500;
+      port.enqueue(std::move(f));
+    }
+    sim.run(seconds(1));
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PortSaturatedLink);
+
+void BM_LatencyStats(benchmark::State& state) {
+  std::vector<TimeNs> samples;
+  for (int i = 0; i < 10000; ++i) {
+    samples.push_back(microseconds(400 + (i * 7919) % 200));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::summarize(samples));
+  }
+}
+BENCHMARK(BM_LatencyStats);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Shared harness for the figure-reproduction benches.
+//
+// Each bench binary regenerates one table/figure of the paper's evaluation
+// (§VI): it builds the workload, runs every method through the full
+// schedule→GCL→simulate pipeline, and prints the series the figure plots.
+// Absolute numbers depend on the simulated substrate; the *shape* (who
+// wins, by what factor, trends across load/length) is the reproduction
+// target — see EXPERIMENTS.md.
+//
+// Common flags: --quick (default) trims sweeps for a fast pass;
+// --full runs the complete parameter grid; --seed N; --duration SECONDS.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "etsn/etsn.h"
+#include "net/ethernet.h"
+
+namespace etsn::bench {
+
+struct Args {
+  bool full = false;
+  std::uint64_t seed = 7;
+  TimeNs duration = seconds(10);
+  int numProbabilistic = 8;
+
+  static Args parse(int argc, char** argv) {
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);  // survive timeouts/pipes
+    Args a;
+    for (int i = 1; i < argc; ++i) {
+      if (!std::strcmp(argv[i], "--full")) {
+        a.full = true;
+      } else if (!std::strcmp(argv[i], "--quick")) {
+        a.full = false;
+      } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+        a.seed = std::strtoull(argv[++i], nullptr, 10);
+      } else if (!std::strcmp(argv[i], "--duration") && i + 1 < argc) {
+        a.duration = seconds(std::strtoll(argv[++i], nullptr, 10));
+      } else if (!std::strcmp(argv[i], "--help")) {
+        std::printf(
+            "flags: --quick (default) | --full | --seed N | --duration S\n");
+        std::exit(0);
+      }
+    }
+    return a;
+  }
+};
+
+/// §VI-B testbed setting: 2 switches + 4 devices, ten TCT streams with
+/// periods {4, 8, 16} ms, one ECT stream D2 -> D4 (min interevent 16 ms).
+inline Experiment testbedExperiment(const Args& args, sched::Method method,
+                                    double load, int periodSlotFactor = 0) {
+  Experiment ex;
+  ex.topo = net::makeTestbedTopology();
+  workload::TctWorkload w;
+  w.numStreams = 10;
+  w.periods = {milliseconds(4), milliseconds(8), milliseconds(16)};
+  w.networkLoad = load;
+  w.seed = args.seed;
+  ex.specs = workload::generateTct(ex.topo, w);
+  ex.specs.push_back(workload::makeEct("ect", 1, 3, milliseconds(16), 1500));
+  ex.options.method = method;
+  ex.options.config.numProbabilistic = args.numProbabilistic;
+  ex.options.periodSlotFactor = periodSlotFactor;
+  ex.simConfig.duration = args.duration;
+  ex.simConfig.seed = args.seed;
+  return ex;
+}
+
+/// §VI-C simulation setting: 4 switches + 12 devices, forty TCT streams
+/// with periods {5, 10, 20} ms, one ECT stream D1 -> D12 (min interevent
+/// 10 ms) of `mtus` MTUs.
+inline Experiment simulationExperiment(const Args& args, sched::Method method,
+                                       double load, int mtus = 1,
+                                       int numNonShared = 0) {
+  Experiment ex;
+  ex.topo = net::makeSimulationTopology();
+  workload::TctWorkload w;
+  w.numStreams = 40;
+  w.periods = {milliseconds(5), milliseconds(10), milliseconds(20)};
+  w.networkLoad = load;
+  w.numSharing = 40 - numNonShared;
+  w.seed = args.seed;
+  ex.specs = workload::generateTct(ex.topo, w);
+  // Non-shared streams first in the paper's §VI-C2 narrative; the
+  // generator marks the first `numSharing` as sharing, so flip: mark the
+  // first numNonShared as non-shared instead.
+  if (numNonShared > 0) {
+    for (int i = 0; i < 40; ++i) {
+      ex.specs[static_cast<std::size_t>(i)].share = i >= numNonShared;
+    }
+  }
+  ex.specs.push_back(workload::makeEct("ect", 0, 11, milliseconds(10),
+                                       mtus * net::kMtuPayloadBytes));
+  ex.options.method = method;
+  ex.options.config.numProbabilistic = args.numProbabilistic;
+  ex.simConfig.duration = args.duration;
+  ex.simConfig.seed = args.seed;
+  return ex;
+}
+
+inline void printHeader(const char* title) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("==============================================================\n");
+}
+
+inline void printEctRow(const char* label, const ExperimentResult& r) {
+  if (!r.feasible) {
+    std::printf("%-16s INFEASIBLE (solve %.1fs, engine %s)\n", label,
+                r.solve.solveSeconds, r.solve.engine.c_str());
+    return;
+  }
+  const StreamResult& e = r.byName("ect");
+  std::printf("%-16s n=%-6lld avg=%9.1fus  worst=%9.1fus  jitter=%8.1fus"
+              "  (solve %.1fs)\n",
+              label, static_cast<long long>(e.latency.count),
+              e.latency.meanUs(), e.latency.maxUs(), e.latency.jitterUs(),
+              r.solve.solveSeconds);
+}
+
+inline long long totalTctMisses(const ExperimentResult& r) {
+  long long misses = 0;
+  for (const StreamResult& s : r.streams) {
+    if (s.type == net::TrafficClass::TimeTriggered) misses += s.deadlineMisses;
+  }
+  return misses;
+}
+
+}  // namespace etsn::bench

@@ -1,0 +1,29 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace etsn {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+const char* levelName(LogLevel l) {
+  switch (l) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+void logMessage(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[etsn %s] %s\n", levelName(level), msg.c_str());
+}
+
+}  // namespace etsn

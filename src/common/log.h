@@ -1,0 +1,39 @@
+// Minimal leveled logging to stderr.
+//
+// The library is quiet by default (Warn); benches and examples raise the
+// level with setLogLevel.  Logging is not on any hot path.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace etsn {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+void logMessage(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { logMessage(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace etsn
+
+#define ETSN_LOG(level)                                   \
+  if (::etsn::logLevel() <= ::etsn::LogLevel::level)      \
+  ::etsn::detail::LogLine(::etsn::LogLevel::level)

@@ -1,0 +1,35 @@
+// Small integer-math helpers shared by the scheduler and simulator.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/check.h"
+
+namespace etsn {
+
+/// Least common multiple of two positive integers.
+inline std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  ETSN_CHECK(a > 0 && b > 0);
+  return std::lcm(a, b);
+}
+
+/// LCM of a non-empty list of positive integers (e.g. the hyperperiod of a
+/// set of stream periods).
+inline std::int64_t lcmAll(const std::vector<std::int64_t>& vs) {
+  ETSN_CHECK(!vs.empty());
+  std::int64_t acc = 1;
+  for (std::int64_t v : vs) acc = lcm64(acc, v);
+  return acc;
+}
+
+/// Greatest common divisor of a non-empty list of positive integers.
+inline std::int64_t gcdAll(const std::vector<std::int64_t>& vs) {
+  ETSN_CHECK(!vs.empty());
+  std::int64_t acc = 0;
+  for (std::int64_t v : vs) acc = std::gcd(acc, v);
+  return acc;
+}
+
+}  // namespace etsn

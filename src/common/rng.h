@@ -1,0 +1,48 @@
+// Deterministic random number generation.
+//
+// Every experiment draws from a single seeded Rng so runs are reproducible
+// bit-for-bit; helpers cover the draws the workload generator and event
+// sources need.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/check.h"
+
+namespace etsn {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
+    ETSN_CHECK(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniformly pick one element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    ETSN_CHECK(!v.empty());
+    return v[static_cast<std::size_t>(
+        uniformInt(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  /// Derive an independent child generator (for per-component streams).
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace etsn

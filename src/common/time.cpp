@@ -1,0 +1,28 @@
+#include "common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace etsn {
+
+std::string formatTime(TimeNs t) {
+  char buf[64];
+  const char* sign = t < 0 ? "-" : "";
+  const TimeNs a = t < 0 ? -t : t;
+  if (a >= kNsPerSec) {
+    std::snprintf(buf, sizeof buf, "%s%.3fs", sign,
+                  static_cast<double>(a) / kNsPerSec);
+  } else if (a >= kNsPerMs) {
+    std::snprintf(buf, sizeof buf, "%s%.3fms", sign,
+                  static_cast<double>(a) / kNsPerMs);
+  } else if (a >= kNsPerUs) {
+    std::snprintf(buf, sizeof buf, "%s%.3fus", sign,
+                  static_cast<double>(a) / kNsPerUs);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%lldns", sign,
+                  static_cast<long long>(a));
+  }
+  return buf;
+}
+
+}  // namespace etsn

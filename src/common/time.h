@@ -1,0 +1,38 @@
+// Time representation used across the E-TSN library.
+//
+// All simulator timestamps and schedule instants are signed 64-bit
+// nanosecond counts (the paper's testbed records at 10 ns accuracy; we keep
+// 1 ns).  The *scheduler* works in a coarser per-link "time unit" (tu,
+// 802.1Qbv macrotick); conversions between the two live here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace etsn {
+
+/// Nanosecond tick count (time point or duration, by context).
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1'000;
+inline constexpr TimeNs kNsPerMs = 1'000'000;
+inline constexpr TimeNs kNsPerSec = 1'000'000'000;
+
+/// Named constructors keep units readable at call sites.
+constexpr TimeNs nanoseconds(std::int64_t v) { return v; }
+constexpr TimeNs microseconds(std::int64_t v) { return v * kNsPerUs; }
+constexpr TimeNs milliseconds(std::int64_t v) { return v * kNsPerMs; }
+constexpr TimeNs seconds(std::int64_t v) { return v * kNsPerSec; }
+
+constexpr double toUs(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+constexpr double toMs(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+
+/// Integer ceiling division for non-negative operands.
+constexpr std::int64_t ceilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Render a time as a human-readable string, e.g. "1.234ms" or "423us".
+std::string formatTime(TimeNs t);
+
+}  // namespace etsn

@@ -1,0 +1,50 @@
+#include "etsn/etsn.h"
+
+#include "common/check.h"
+#include "sched/validate.h"
+
+namespace etsn {
+
+const StreamResult& ExperimentResult::byName(const std::string& name) const {
+  for (const StreamResult& s : streams) {
+    if (s.name == name) return s;
+  }
+  throw ConfigError("no stream result named '" + name + "'");
+}
+
+ExperimentResult runExperiment(const Experiment& ex) {
+  ExperimentResult out;
+  out.method = ex.options.method;
+
+  const sched::MethodSchedule ms =
+      sched::buildSchedule(ex.topo, ex.specs, ex.options);
+  out.solve = ms.schedule.info;
+  out.feasible = ms.schedule.info.feasible;
+  if (!out.feasible) return out;
+  if (ex.validateSchedule) {
+    sched::validateOrThrow(ex.topo, ms.schedule);
+  }
+
+  const sched::NetworkProgram program = sched::compileProgram(ex.topo, ms);
+  sim::Network network(ex.topo, program, ex.simConfig);
+  network.run();
+
+  const sim::Recorder& rec = network.recorder();
+  for (std::size_t i = 0; i < ex.specs.size(); ++i) {
+    StreamResult r;
+    r.name = ex.specs[i].name;
+    r.type = ex.specs[i].type;
+    if (static_cast<int>(i) < rec.numSpecs()) {
+      const sim::StreamRecord& sr = rec.record(static_cast<std::int32_t>(i));
+      r.samples = sr.latencies;
+      r.latency = stats::summarize(sr.latencies);
+      r.delivered = sr.messagesDelivered;
+      r.deadlineMisses = sr.deadlineMisses;
+      r.deadline = sr.deadline;
+    }
+    out.streams.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace etsn

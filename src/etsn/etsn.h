@@ -1,0 +1,65 @@
+// Public façade of the E-TSN library.
+//
+// One call runs the full pipeline the paper describes (Fig. 5): expand
+// streams, solve the joint TCT+ECT schedule (E-TSN or a baseline),
+// compile GCLs/talker tables, simulate the network, and report per-stream
+// latency statistics.
+//
+// Quick start:
+//
+//   etsn::Experiment ex;
+//   ex.topo  = etsn::net::makeTestbedTopology();
+//   ex.specs = etsn::workload::generateTct(ex.topo, {...});
+//   ex.specs.push_back(etsn::workload::makeEct("stop", 1, 3,
+//                                              etsn::milliseconds(16), 1500));
+//   auto result = etsn::runExperiment(ex);
+//   std::cout << result.streams.back().latency.meanUs() << " us\n";
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/stream.h"
+#include "net/topology.h"
+#include "sched/program.h"
+#include "sched/scheduler.h"
+#include "sim/network.h"
+#include "stats/latency.h"
+#include "workload/iec60802.h"
+
+namespace etsn {
+
+struct Experiment {
+  net::Topology topo;
+  std::vector<net::StreamSpec> specs;
+  sched::ScheduleOptions options;
+  sim::SimConfig simConfig;
+  /// Validate the schedule with the independent checker before running
+  /// (throws InvariantError on any violation).
+  bool validateSchedule = true;
+};
+
+struct StreamResult {
+  std::string name;
+  net::TrafficClass type = net::TrafficClass::TimeTriggered;
+  stats::Summary latency;
+  std::vector<TimeNs> samples;
+  std::int64_t delivered = 0;
+  std::int64_t deadlineMisses = 0;
+  TimeNs deadline = 0;
+};
+
+struct ExperimentResult {
+  bool feasible = false;
+  sched::SolveInfo solve;
+  sched::Method method = sched::Method::ETSN;
+  std::vector<StreamResult> streams;  // aligned with Experiment::specs
+
+  const StreamResult& byName(const std::string& name) const;
+};
+
+/// Run the full schedule→simulate pipeline.  If the schedule is
+/// infeasible, `feasible` is false and `streams` is empty.
+ExperimentResult runExperiment(const Experiment& ex);
+
+}  // namespace etsn

@@ -1,0 +1,17 @@
+#include "net/ethernet.h"
+
+namespace etsn::net {
+
+std::vector<int> fragmentPayload(int payloadBytes) {
+  ETSN_CHECK_MSG(payloadBytes >= 0, "negative payload");
+  std::vector<int> frames;
+  int remaining = payloadBytes;
+  while (remaining > kMtuPayloadBytes) {
+    frames.push_back(kMtuPayloadBytes);
+    remaining -= kMtuPayloadBytes;
+  }
+  frames.push_back(remaining);  // remainder (may be 0 → padded to minimum)
+  return frames;
+}
+
+}  // namespace etsn::net

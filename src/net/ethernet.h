@@ -1,0 +1,45 @@
+// Ethernet frame sizing and wire-time arithmetic.
+//
+// Streams are specified by payload bytes; messages larger than one MTU are
+// fragmented into full-MTU frames plus a remainder.  Wire time accounts for
+// the L2 header/FCS, preamble+SFD, and the inter-frame gap, so scheduled
+// slot lengths match what the link actually consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace etsn::net {
+
+inline constexpr int kMtuPayloadBytes = 1500;  // max L2 payload (one MTU)
+inline constexpr int kMinPayloadBytes = 46;    // min L2 payload
+inline constexpr int kL2OverheadBytes = 18;    // MAC hdr (14) + FCS (4)
+inline constexpr int kPreambleSfdBytes = 8;
+inline constexpr int kInterFrameGapBytes = 12;
+
+/// Bytes a frame with `payload` occupies on the wire, including preamble,
+/// SFD and inter-frame gap (i.e. the full slot the frame needs).
+constexpr std::int64_t wireBytes(int payload) {
+  const int padded = payload < kMinPayloadBytes ? kMinPayloadBytes : payload;
+  return padded + kL2OverheadBytes + kPreambleSfdBytes + kInterFrameGapBytes;
+}
+
+/// Time to put `bytes` on a link of `bandwidthBps` bits per second.
+constexpr TimeNs txTime(std::int64_t bytes, std::int64_t bandwidthBps) {
+  // bytes * 8 bits / (bps) seconds = bytes * 8e9 / bps ns, rounded up.
+  return (bytes * 8 * kNsPerSec + bandwidthBps - 1) / bandwidthBps;
+}
+
+/// Wire time of a frame carrying `payload` bytes.
+constexpr TimeNs frameTxTime(int payload, std::int64_t bandwidthBps) {
+  return txTime(wireBytes(payload), bandwidthBps);
+}
+
+/// Split a message of `payloadBytes` into per-frame payload sizes
+/// (full MTUs plus a remainder; a message always has at least one frame).
+std::vector<int> fragmentPayload(int payloadBytes);
+
+}  // namespace etsn::net

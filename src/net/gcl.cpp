@@ -1,0 +1,147 @@
+#include "net/gcl.h"
+
+#include <algorithm>
+#include <map>
+
+namespace etsn::net {
+
+Gcl::Gcl(TimeNs cycle, std::vector<GclEntry> entries)
+    : cycle_(cycle), entries_(std::move(entries)) {
+  ETSN_CHECK(cycle_ > 0);
+  TimeNs sum = 0;
+  for (const GclEntry& e : entries_) {
+    ETSN_CHECK_MSG(e.duration > 0, "GCL entries must have positive duration");
+    sum += e.duration;
+  }
+  ETSN_CHECK_MSG(sum == cycle_, "GCL entry durations must sum to the cycle");
+}
+
+std::size_t Gcl::entryIndexAt(TimeNs t, TimeNs* entryStart) const {
+  ETSN_CHECK(installed());
+  TimeNs off = t % cycle_;
+  if (off < 0) off += cycle_;
+  TimeNs at = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const TimeNs end = at + entries_[i].duration;
+    if (off < end) {
+      if (entryStart != nullptr) *entryStart = t - (off - at);
+      return i;
+    }
+    at = end;
+  }
+  ETSN_CHECK_MSG(false, "unreachable: offset beyond cycle");
+  return 0;
+}
+
+bool Gcl::gateOpen(int queue, TimeNs t) const {
+  ETSN_CHECK(queue >= 0 && queue < kNumQueues);
+  if (!installed()) return true;
+  return (maskAt(t) >> queue) & 1;
+}
+
+std::uint8_t Gcl::maskAt(TimeNs t) const {
+  if (!installed()) return 0xFF;
+  return entries_[entryIndexAt(t, nullptr)].gateMask;
+}
+
+TimeNs Gcl::nextChange(TimeNs t) const {
+  ETSN_CHECK(installed());
+  TimeNs entryStart = 0;
+  const std::size_t i = entryIndexAt(t, &entryStart);
+  return entryStart + entries_[i].duration;
+}
+
+TimeNs Gcl::openTimeRemaining(int queue, TimeNs t) const {
+  ETSN_CHECK(queue >= 0 && queue < kNumQueues);
+  if (!installed()) return kNsPerSec;  // effectively unbounded
+  if (!gateOpen(queue, t)) return 0;
+  TimeNs remaining = 0;
+  TimeNs at = t;
+  // Walk entries until the gate closes (cap at one cycle: always-open).
+  while (remaining < cycle_) {
+    const TimeNs change = nextChange(at);
+    remaining += change - at;
+    if (!gateOpen(queue, change)) break;
+    at = change;
+  }
+  return std::min(remaining, cycle_);
+}
+
+TimeNs Gcl::nextOpen(int queue, TimeNs t) const {
+  ETSN_CHECK(queue >= 0 && queue < kNumQueues);
+  if (!installed()) return t;
+  TimeNs at = t;
+  const TimeNs limit = t + cycle_;
+  while (at < limit) {
+    if (gateOpen(queue, at)) return at;
+    at = nextChange(at);
+  }
+  return -1;
+}
+
+GclBuilder::GclBuilder(TimeNs cycle) : cycle_(cycle) {
+  ETSN_CHECK_MSG(cycle > 0, "GCL cycle must be positive");
+}
+
+void GclBuilder::open(int queue, TimeNs start, TimeNs end) {
+  ETSN_CHECK(queue >= 0 && queue < kNumQueues);
+  ETSN_CHECK_MSG(start < end, "empty GCL window");
+  ETSN_CHECK_MSG(end - start <= cycle_, "window longer than cycle");
+  // Normalize into [0, cycle) and split wrap-around windows.
+  TimeNs s = start % cycle_;
+  if (s < 0) s += cycle_;
+  const TimeNs len = end - start;
+  if (s + len <= cycle_) {
+    windows_.push_back({queue, s, s + len});
+  } else {
+    windows_.push_back({queue, s, cycle_});
+    windows_.push_back({queue, 0, s + len - cycle_});
+  }
+}
+
+Gcl GclBuilder::build() const {
+  // Sweep over the boundary points, computing the mask per segment.
+  std::vector<TimeNs> cuts{0, cycle_};
+  for (const Window& w : windows_) {
+    cuts.push_back(w.start);
+    cuts.push_back(w.end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::uint8_t alwaysMask = 0;
+  for (const int q : always_) {
+    ETSN_CHECK(q >= 0 && q < kNumQueues);
+    alwaysMask |= static_cast<std::uint8_t>(1u << q);
+  }
+  std::uint8_t unallocMask = 0;
+  for (const int q : unallocated_) {
+    ETSN_CHECK(q >= 0 && q < kNumQueues);
+    unallocMask |= static_cast<std::uint8_t>(1u << q);
+  }
+
+  std::vector<GclEntry> entries;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i) {
+    const TimeNs s = cuts[i], e = cuts[i + 1];
+    std::uint8_t mask = alwaysMask;
+    bool allocated = false;
+    for (const Window& w : windows_) {
+      if (w.start <= s && e <= w.end) {
+        mask |= static_cast<std::uint8_t>(1u << w.queue);
+        allocated = true;
+      }
+    }
+    if (!allocated) mask |= unallocMask;
+    // Merge with the previous entry when the mask is unchanged.
+    if (!entries.empty() && entries.back().gateMask == mask) {
+      entries.back().duration += e - s;
+    } else {
+      entries.push_back({e - s, mask});
+    }
+  }
+  // Merge the wrap-around boundary (last entry and first entry equal mask)
+  // is deliberately not folded: entries must sum to exactly one cycle.
+  return Gcl(cycle_, std::move(entries));
+}
+
+}  // namespace etsn::net

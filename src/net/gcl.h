@@ -1,0 +1,89 @@
+// 802.1Qbv Gate Control Lists.
+//
+// A GCL cycles through entries, each opening a subset of the eight egress
+// queues for a duration (Fig. 3 of the paper).  GclBuilder assembles a GCL
+// from per-queue open windows; queues with no windows at all can be
+// declared "always open" (used for best-effort/AVB queues that live in the
+// unallocated time-slots).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace etsn::net {
+
+inline constexpr int kNumQueues = 8;
+
+struct GclEntry {
+  TimeNs duration = 0;
+  std::uint8_t gateMask = 0;  // bit q set = queue q's gate open
+};
+
+class Gcl {
+ public:
+  /// An empty cycle means "no GCL installed": all gates permanently open.
+  Gcl() = default;
+  Gcl(TimeNs cycle, std::vector<GclEntry> entries);
+
+  TimeNs cycle() const { return cycle_; }
+  const std::vector<GclEntry>& entries() const { return entries_; }
+  bool installed() const { return cycle_ > 0; }
+
+  /// Is queue q's gate open at absolute time t?
+  bool gateOpen(int queue, TimeNs t) const;
+
+  /// Absolute time of the next state change at or after t (for the
+  /// simulator's port machinery); returns t's containing entry's end.
+  TimeNs nextChange(TimeNs t) const;
+
+  /// Gate mask in effect at absolute time t.
+  std::uint8_t maskAt(TimeNs t) const;
+
+  /// From absolute time t, how long queue q's gate stays open (0 if shut).
+  /// Capped at one full cycle for always-open queues.
+  TimeNs openTimeRemaining(int queue, TimeNs t) const;
+
+  /// Earliest time >= t at which queue q's gate is open; -1 if the gate
+  /// never opens within a full cycle.
+  TimeNs nextOpen(int queue, TimeNs t) const;
+
+ private:
+  std::size_t entryIndexAt(TimeNs t, TimeNs* entryStart) const;
+
+  TimeNs cycle_ = 0;
+  std::vector<GclEntry> entries_;
+};
+
+/// Builds a Gcl from per-queue open intervals within a cycle.
+class GclBuilder {
+ public:
+  explicit GclBuilder(TimeNs cycle);
+
+  /// Open queue `q` during [start, end) (offsets within the cycle; may wrap
+  /// around the cycle boundary).
+  void open(int queue, TimeNs start, TimeNs end);
+
+  /// Declare a queue open whenever no other queue's window claims the time
+  /// ("unallocated" slots — the AVB/best-effort regime of §VI-A2).
+  void openInUnallocated(int queue) { unallocated_.push_back(queue); }
+
+  /// Declare a queue open for the entire cycle.
+  void alwaysOpen(int queue) { always_.push_back(queue); }
+
+  Gcl build() const;
+
+ private:
+  struct Window {
+    int queue;
+    TimeNs start, end;
+  };
+  TimeNs cycle_;
+  std::vector<Window> windows_;
+  std::vector<int> unallocated_;
+  std::vector<int> always_;
+};
+
+}  // namespace etsn::net

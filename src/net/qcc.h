@@ -1,0 +1,47 @@
+// 802.1Qcc-style configuration interchange (§III-A, §V).
+//
+// A real CNC distributes the computed configuration to switches and end
+// stations via NETCONF/YANG (the paper's testbed implements this on the
+// ZYNQ PS).  This module provides the equivalent artifact: a textual,
+// YANG-inspired key/value document describing stream requirements (Qcc
+// 46.2 user/network configuration) and the per-port Gate Control Lists,
+// with a strict round-trip parser — so schedules can be exported,
+// diffed, versioned, and re-imported.
+//
+// Format (line-oriented, '#' comments, indentation cosmetic):
+//
+//   etsn-config cycle=16000000
+//   stream name=tct1 src=0 dst=2 period=4000000 max-latency=4000000
+//          payload=1500 priority=4 type=time-triggered share=1 release=0
+//   gcl link=3 cycle=16000000
+//   entry duration=124000 gates=0x90
+//   ...
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/gcl.h"
+#include "net/stream.h"
+
+namespace etsn::net {
+
+struct QccConfig {
+  TimeNs cycle = 0;
+  std::vector<StreamSpec> streams;
+  struct PortGcl {
+    LinkId link = kNoLink;
+    Gcl gcl;
+  };
+  std::vector<PortGcl> gcls;
+};
+
+/// Serialize to the textual interchange format.
+std::string serializeQcc(const QccConfig& config);
+
+/// Parse a document produced by serializeQcc (or written by hand).
+/// Throws ConfigError with line information on malformed input.
+QccConfig parseQcc(const std::string& text);
+
+}  // namespace etsn::net

@@ -1,0 +1,32 @@
+#include "net/stream.h"
+
+#include "net/ethernet.h"
+
+namespace etsn::net {
+
+void validateSpec(const Topology& topo, const StreamSpec& spec) {
+  auto fail = [&](const std::string& why) {
+    throw ConfigError("stream '" + spec.name + "': " + why);
+  };
+  if (spec.src < 0 || spec.src >= topo.numNodes()) fail("invalid source");
+  if (spec.dst < 0 || spec.dst >= topo.numNodes()) fail("invalid destination");
+  if (spec.src == spec.dst) fail("source equals destination");
+  if (spec.payloadBytes <= 0) fail("payload must be positive");
+  if (spec.period <= 0) fail("period / min interevent time must be positive");
+  if (spec.maxLatency <= 0) fail("max latency must be positive");
+  if (spec.priority < -1 || spec.priority > 7) fail("priority out of range");
+  if (spec.releaseOffset < 0 || spec.releaseOffset >= spec.period) {
+    if (spec.releaseOffset != 0) fail("release offset outside [0, period)");
+  }
+  if (!spec.path.empty()) {
+    NodeId at = spec.src;
+    for (const LinkId l : spec.path) {
+      if (l < 0 || l >= topo.numLinks()) fail("path contains invalid link");
+      if (topo.link(l).from != at) fail("path is not connected");
+      at = topo.link(l).to;
+    }
+    if (at != spec.dst) fail("path does not end at the destination");
+  }
+}
+
+}  // namespace etsn::net

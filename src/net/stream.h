@@ -1,0 +1,54 @@
+// Stream specifications (§IV-A): the user-facing description of traffic,
+// matching the 8-attribute tuple (path, e2e, p, l, T, type, share, ot).
+// Occurrence time (ot) applies only to the probabilistic streams the
+// scheduler derives internally; users describe ECT by its minimum
+// interevent time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "net/topology.h"
+
+namespace etsn::net {
+
+using StreamId = std::int32_t;
+inline constexpr StreamId kNoStream = -1;
+
+enum class TrafficClass {
+  TimeTriggered,   // TCT: periodic, occurrence predetermined by the schedule
+  EventTriggered,  // ECT: sporadic with a minimum interevent time
+};
+
+struct StreamSpec {
+  std::string name;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  /// Route through the network; empty = shortest path computed at build.
+  std::vector<LinkId> path;
+  /// Maximum allowed end-to-end latency (s.e2e).
+  TimeNs maxLatency = 0;
+  /// 802.1Q priority (s.p), 0..7; -1 lets the scheduler assign one per the
+  /// priority constraints (6).
+  int priority = -1;
+  /// Message length in bytes (s.l); fragmented into MTU-sized frames.
+  int payloadBytes = 0;
+  /// Period for TCT; minimum interevent time for ECT (s.T).
+  TimeNs period = 0;
+  /// TCT only: earliest transmission phase within the period (the device
+  /// application's release time).  Industrial end stations are not phase-
+  /// aligned, so workload generators draw this at random; it scatters
+  /// time-slots across the cycle instead of packing them at t=0.
+  TimeNs releaseOffset = 0;
+  TrafficClass type = TrafficClass::TimeTriggered;
+  /// TCT only (s.share): whether ECT may share this stream's time-slots.
+  bool share = false;
+};
+
+/// Validate a spec against a topology; throws ConfigError with a
+/// descriptive message on the first problem found.
+void validateSpec(const Topology& topo, const StreamSpec& spec);
+
+}  // namespace etsn::net

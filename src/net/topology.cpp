@@ -1,0 +1,128 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace etsn::net {
+
+NodeId Topology::addNode(std::string name, NodeKind kind) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back({id, std::move(name), kind});
+  out_.emplace_back();
+  return id;
+}
+
+NodeId Topology::addDevice(std::string name) {
+  return addNode(std::move(name), NodeKind::Device);
+}
+
+NodeId Topology::addSwitch(std::string name) {
+  return addNode(std::move(name), NodeKind::Switch);
+}
+
+std::pair<LinkId, LinkId> Topology::connect(NodeId a, NodeId b,
+                                            const LinkParams& params) {
+  ETSN_CHECK(a >= 0 && a < numNodes() && b >= 0 && b < numNodes());
+  ETSN_CHECK_MSG(a != b, "self-links are not allowed");
+  ETSN_CHECK_MSG(linkBetween(a, b) == kNoLink, "nodes already connected");
+  ETSN_CHECK_MSG(params.bandwidthBps > 0, "bandwidth must be positive");
+  ETSN_CHECK_MSG(params.timeUnit > 0, "time unit must be positive");
+
+  const LinkId ab = static_cast<LinkId>(links_.size());
+  const LinkId ba = ab + 1;
+  links_.push_back({ab, a, b, params.bandwidthBps, params.propagationDelay,
+                    params.timeUnit, ba});
+  links_.push_back({ba, b, a, params.bandwidthBps, params.propagationDelay,
+                    params.timeUnit, ab});
+  out_[static_cast<std::size_t>(a)].push_back(ab);
+  out_[static_cast<std::size_t>(b)].push_back(ba);
+  return {ab, ba};
+}
+
+LinkId Topology::linkBetween(NodeId a, NodeId b) const {
+  if (a < 0 || a >= numNodes()) return kNoLink;
+  for (const LinkId l : out_[static_cast<std::size_t>(a)]) {
+    if (links_[static_cast<std::size_t>(l)].to == b) return l;
+  }
+  return kNoLink;
+}
+
+std::vector<LinkId> Topology::shortestPath(NodeId src, NodeId dst) const {
+  ETSN_CHECK(src >= 0 && src < numNodes() && dst >= 0 && dst < numNodes());
+  ETSN_CHECK_MSG(src != dst, "stream source equals destination");
+  std::vector<LinkId> via(static_cast<std::size_t>(numNodes()), kNoLink);
+  std::vector<char> visited(static_cast<std::size_t>(numNodes()), 0);
+  std::deque<NodeId> queue{src};
+  visited[static_cast<std::size_t>(src)] = 1;
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    if (n == dst) break;
+    for (const LinkId l : out_[static_cast<std::size_t>(n)]) {
+      const NodeId next = links_[static_cast<std::size_t>(l)].to;
+      if (visited[static_cast<std::size_t>(next)]) continue;
+      visited[static_cast<std::size_t>(next)] = 1;
+      via[static_cast<std::size_t>(next)] = l;
+      queue.push_back(next);
+    }
+  }
+  if (!visited[static_cast<std::size_t>(dst)]) {
+    throw ConfigError("no path from " + node(src).name + " to " +
+                      node(dst).name);
+  }
+  std::vector<LinkId> path;
+  for (NodeId n = dst; n != src;) {
+    const LinkId l = via[static_cast<std::size_t>(n)];
+    path.push_back(l);
+    n = links_[static_cast<std::size_t>(l)].from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> Topology::devices() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.kind == NodeKind::Device) out.push_back(n.id);
+  }
+  return out;
+}
+
+Topology makeTestbedTopology(const LinkParams& params) {
+  Topology t;
+  const NodeId d1 = t.addDevice("D1");
+  const NodeId d2 = t.addDevice("D2");
+  const NodeId d3 = t.addDevice("D3");
+  const NodeId d4 = t.addDevice("D4");
+  const NodeId sw1 = t.addSwitch("SW1");
+  const NodeId sw2 = t.addSwitch("SW2");
+  t.connect(d1, sw1, params);
+  t.connect(d2, sw1, params);
+  t.connect(d3, sw2, params);
+  t.connect(d4, sw2, params);
+  t.connect(sw1, sw2, params);
+  return t;
+}
+
+Topology makeSimulationTopology(const LinkParams& params) {
+  Topology t;
+  std::vector<NodeId> devices;
+  for (int i = 1; i <= 12; ++i) {
+    devices.push_back(t.addDevice("D" + std::to_string(i)));
+  }
+  std::vector<NodeId> switches;
+  for (int i = 1; i <= 4; ++i) {
+    switches.push_back(t.addSwitch("SW" + std::to_string(i)));
+  }
+  for (int i = 0; i < 12; ++i) {
+    t.connect(devices[static_cast<std::size_t>(i)],
+              switches[static_cast<std::size_t>(i / 3)], params);
+  }
+  for (int i = 0; i < 3; ++i) {
+    t.connect(switches[static_cast<std::size_t>(i)],
+              switches[static_cast<std::size_t>(i + 1)], params);
+  }
+  return t;
+}
+
+}  // namespace etsn::net

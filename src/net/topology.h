@@ -1,0 +1,101 @@
+// Network topology: the directed graph G(V, E) of §IV-A.
+//
+// Vertices are end devices and switches; a physical full-duplex cable adds
+// two directed links.  Each link carries the paper's three attributes:
+// bandwidth b, propagation delay d, and scheduling time unit tu.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace etsn::net {
+
+using NodeId = std::int32_t;
+using LinkId = std::int32_t;
+inline constexpr NodeId kNoNode = -1;
+inline constexpr LinkId kNoLink = -1;
+
+enum class NodeKind { Device, Switch };
+
+struct Node {
+  NodeId id = kNoNode;
+  std::string name;
+  NodeKind kind = NodeKind::Device;
+};
+
+/// A directed link <from, to>.
+struct Link {
+  LinkId id = kNoLink;
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  std::int64_t bandwidthBps = 100'000'000;  // b: default 100 Mbps
+  TimeNs propagationDelay = 0;              // d
+  TimeNs timeUnit = microseconds(1);        // tu: scheduling granularity
+  LinkId reverse = kNoLink;                 // the opposite direction
+};
+
+struct LinkParams {
+  std::int64_t bandwidthBps = 100'000'000;
+  TimeNs propagationDelay = nanoseconds(50);  // ~10 m of cable
+  TimeNs timeUnit = microseconds(1);
+};
+
+class Topology {
+ public:
+  NodeId addDevice(std::string name);
+  NodeId addSwitch(std::string name);
+
+  /// Connect two nodes with a full-duplex cable; adds both directed links
+  /// and returns {a->b, b->a}.
+  std::pair<LinkId, LinkId> connect(NodeId a, NodeId b,
+                                    const LinkParams& params = {});
+
+  const Node& node(NodeId id) const {
+    ETSN_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+    return nodes_[static_cast<std::size_t>(id)];
+  }
+  const Link& link(LinkId id) const {
+    ETSN_CHECK(id >= 0 && static_cast<std::size_t>(id) < links_.size());
+    return links_[static_cast<std::size_t>(id)];
+  }
+  int numNodes() const { return static_cast<int>(nodes_.size()); }
+  int numLinks() const { return static_cast<int>(links_.size()); }
+
+  /// Directed link from a to b, or kNoLink.
+  LinkId linkBetween(NodeId a, NodeId b) const;
+
+  std::span<const LinkId> outLinks(NodeId n) const {
+    return out_[static_cast<std::size_t>(n)];
+  }
+
+  /// Shortest path (minimum hop count, deterministic tie-break by link id)
+  /// from src to dst as a sequence of directed links.  Throws ConfigError
+  /// if unreachable.
+  std::vector<LinkId> shortestPath(NodeId src, NodeId dst) const;
+
+  /// All devices (convenience for workload generators).
+  std::vector<NodeId> devices() const;
+
+ private:
+  NodeId addNode(std::string name, NodeKind kind);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_;
+};
+
+/// The paper's testbed network (Fig. 10): two switches, four devices.
+/// Devices 1 and 2 hang off switch 1; devices 3 and 4 off switch 2.
+/// Returned node ids: devices first (index 0..3), then switches (4, 5).
+Topology makeTestbedTopology(const LinkParams& params = {});
+
+/// The paper's simulation network (Fig. 13): four switches in a line, each
+/// with three devices.  Device i (0-based 0..11) attaches to switch i/3.
+Topology makeSimulationTopology(const LinkParams& params = {});
+
+}  // namespace etsn::net

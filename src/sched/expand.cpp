@@ -1,0 +1,173 @@
+#include "sched/expand.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "net/ethernet.h"
+#include "net/gcl.h"
+
+namespace etsn::sched {
+
+namespace {
+
+void checkPriorityGroups(const SchedulerConfig& c) {
+  auto inRange = [](int p) { return p >= 0 && p < net::kNumQueues; };
+  ETSN_CHECK_MSG(inRange(c.ectPriority), "EP out of range");
+  ETSN_CHECK_MSG(inRange(c.sharedPrioLow) && inRange(c.sharedPrioHigh) &&
+                     c.sharedPrioLow <= c.sharedPrioHigh,
+                 "shared priority group invalid");
+  ETSN_CHECK_MSG(inRange(c.nonSharedPrioLow) && inRange(c.nonSharedPrioHigh) &&
+                     c.nonSharedPrioLow <= c.nonSharedPrioHigh,
+                 "non-shared priority group invalid");
+  // The three groups must be disjoint (constraint (6) partitions them).
+  ETSN_CHECK_MSG(c.ectPriority > c.sharedPrioHigh &&
+                     c.sharedPrioLow > c.nonSharedPrioHigh &&
+                     c.nonSharedPrioLow > c.bestEffortPriority,
+                 "priority groups must be ordered BE < NSH < SH < EP");
+}
+
+}  // namespace
+
+TimeNs maxFrameTxTime(const ExpandedStream& s, const net::Link& link) {
+  int maxPayload = 0;
+  for (const int p : s.framePayloads) maxPayload = std::max(maxPayload, p);
+  return net::frameTxTime(maxPayload, link.bandwidthBps);
+}
+
+TimeNs frameTxTimeOf(const ExpandedStream& s, int frameIndex,
+                     const net::Link& link) {
+  // Shared TCT slots may carry displaced frames and ECT slots may carry
+  // any fragment of an event message, so both use uniform max-size slots.
+  // Non-shared TCT slots are sized to their exact frame.
+  if (s.kind == StreamKind::Prob || s.share ||
+      frameIndex >= s.baseFrames()) {
+    return maxFrameTxTime(s, link);
+  }
+  return net::frameTxTime(s.framePayloads[static_cast<std::size_t>(frameIndex)],
+                          link.bandwidthBps);
+}
+
+int prudentExtraFrames(int tctFrames, TimeNs tctFrameTxTime, int ectFrames,
+                       TimeNs minInterevent) {
+  ETSN_CHECK(tctFrames > 0 && ectFrames > 0 && minInterevent > 0);
+  // Alg. 1: n = s_e.l * ceil(s_t.l * T / s_e.T).
+  const std::int64_t burst = static_cast<std::int64_t>(tctFrames) *
+                             tctFrameTxTime;
+  return ectFrames * static_cast<int>(ceilDiv(burst, minInterevent));
+}
+
+Expansion expandStreams(const net::Topology& topo,
+                        const std::vector<net::StreamSpec>& specs,
+                        const SchedulerConfig& config) {
+  checkPriorityGroups(config);
+  ETSN_CHECK_MSG(config.numProbabilistic >= 1, "need at least one possibility");
+
+  Expansion out;
+  out.specToStreams.resize(specs.size());
+
+  int sharedRr = 0, nonSharedRr = 0;  // round-robin within priority groups
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const net::StreamSpec& spec = specs[i];
+    net::validateSpec(topo, spec);
+    std::vector<net::LinkId> path =
+        spec.path.empty() ? topo.shortestPath(spec.src, spec.dst) : spec.path;
+    const std::vector<int> payloads = net::fragmentPayload(spec.payloadBytes);
+
+    if (spec.type == net::TrafficClass::TimeTriggered) {
+      ExpandedStream s;
+      s.id = static_cast<StreamId>(out.streams.size());
+      s.specId = static_cast<std::int32_t>(i);
+      s.name = spec.name;
+      s.kind = StreamKind::Det;
+      s.path = std::move(path);
+      s.share = spec.share;
+      s.period = spec.period;
+      s.maxLatency = spec.maxLatency;
+      s.occurrence = spec.releaseOffset;  // the application's release phase
+      s.framePayloads = payloads;
+      s.framesOnLink.assign(s.path.size(),
+                            static_cast<int>(payloads.size()));
+      if (spec.priority >= 0) {
+        const int lo = spec.share ? config.sharedPrioLow : config.nonSharedPrioLow;
+        const int hi = spec.share ? config.sharedPrioHigh : config.nonSharedPrioHigh;
+        if (spec.priority < lo || spec.priority > hi) {
+          throw ConfigError("stream '" + spec.name +
+                            "': priority outside its group (constraint 6)");
+        }
+        s.priority = spec.priority;
+      } else if (spec.share) {
+        s.priority = config.sharedPrioLow +
+                     sharedRr++ % (config.sharedPrioHigh -
+                                   config.sharedPrioLow + 1);
+      } else {
+        s.priority = config.nonSharedPrioLow +
+                     nonSharedRr++ % (config.nonSharedPrioHigh -
+                                      config.nonSharedPrioLow + 1);
+      }
+      out.specToStreams[i].push_back(s.id);
+      out.streams.push_back(std::move(s));
+    } else {
+      // ECT: derive N probabilistic streams (§III-B).
+      const int n = config.numProbabilistic;
+      const TimeNs stagger = spec.period / n;
+      ETSN_CHECK_MSG(stagger > 0, "min interevent too small for N");
+      const TimeNs tightened = spec.maxLatency - stagger;
+      if (tightened <= 0) {
+        throw ConfigError(
+            "stream '" + spec.name +
+            "': deadline too tight for N probabilistic streams (e2e - T/N "
+            "<= 0); increase numProbabilistic");
+      }
+      if (spec.priority >= 0 && spec.priority != config.ectPriority) {
+        throw ConfigError("stream '" + spec.name +
+                          "': ECT must use the EP priority (constraint 6)");
+      }
+      for (int k = 0; k < n; ++k) {
+        ExpandedStream s;
+        s.id = static_cast<StreamId>(out.streams.size());
+        s.specId = static_cast<std::int32_t>(i);
+        s.name = spec.name + "/ps" + std::to_string(k + 1);
+        s.kind = StreamKind::Prob;
+        s.path = path;
+        s.priority = config.ectPriority;
+        s.period = spec.period;
+        s.maxLatency = tightened;
+        s.occurrence = static_cast<TimeNs>(k) * stagger;
+        s.framePayloads = payloads;
+        s.framesOnLink.assign(path.size(), static_cast<int>(payloads.size()));
+        out.specToStreams[i].push_back(s.id);
+        out.streams.push_back(std::move(s));
+      }
+    }
+  }
+
+  // Prudent reservation (Alg. 1): for every shared Det stream and every
+  // link of its path, add n extra frames per ECT stream crossing the link.
+  if (!config.prudentReservation) return out;
+  for (ExpandedStream& st : out.streams) {
+    if (st.kind != StreamKind::Det || !st.share) continue;
+    for (std::size_t hop = 0; hop < st.path.size(); ++hop) {
+      const net::LinkId link = st.path[hop];
+      for (std::size_t e = 0; e < specs.size(); ++e) {
+        const net::StreamSpec& se = specs[e];
+        if (se.type != net::TrafficClass::EventTriggered) continue;
+        // Does the ECT stream pass this link?  (All its Prob streams use
+        // the same path; check via the first one.)
+        const auto& probIds = out.specToStreams[e];
+        ETSN_CHECK(!probIds.empty());
+        const ExpandedStream& pe =
+            out.streams[static_cast<std::size_t>(probIds[0])];
+        if (std::find(pe.path.begin(), pe.path.end(), link) == pe.path.end())
+          continue;
+        const int extra = prudentExtraFrames(
+            st.baseFrames(), maxFrameTxTime(st, topo.link(link)),
+            pe.baseFrames(), se.period);
+        st.framesOnLink[hop] += extra;
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace etsn::sched

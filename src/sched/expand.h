@@ -1,0 +1,45 @@
+// Stream expansion: routing, probabilistic-stream derivation (§III-B),
+// priority assignment (constraint (6)), and prudent reservation (Alg. 1).
+#pragma once
+
+#include <vector>
+
+#include "net/stream.h"
+#include "net/topology.h"
+#include "sched/schedule.h"
+
+namespace etsn::sched {
+
+struct Expansion {
+  std::vector<ExpandedStream> streams;
+  std::vector<std::vector<StreamId>> specToStreams;
+};
+
+/// Expand user specs into scheduler streams:
+///  * each TCT spec becomes one Det stream;
+///  * each ECT spec becomes `config.numProbabilistic` Prob streams with
+///    occurrence times (i-1)*T/N and deadline e2e - T/N;
+///  * priorities are resolved per constraint (6) (round-robin within the
+///    shared / non-shared groups, EP for Prob) unless set explicitly;
+///  * prudent reservation adds extra frames to shared Det streams on every
+///    link an ECT stream crosses (Alg. 1).
+/// Throws ConfigError on invalid input.
+Expansion expandStreams(const net::Topology& topo,
+                        const std::vector<net::StreamSpec>& specs,
+                        const SchedulerConfig& config);
+
+/// Alg. 1's per-link extra frame count for one (shared TCT, ECT) pair:
+/// n = ect_frames * ceil(tct_frames * frame_tx_time / min_interevent).
+int prudentExtraFrames(int tctFrames, TimeNs tctFrameTxTime, int ectFrames,
+                       TimeNs minInterevent);
+
+/// Wire time of the largest frame of `s` on `link` (slot size for shared
+/// and probabilistic streams, which must absorb displaced/variable frames).
+TimeNs maxFrameTxTime(const ExpandedStream& s, const net::Link& link);
+
+/// Wire time of frame `j` of `s` on `link`; extra (reserved) frames beyond
+/// the base count use the largest frame size.
+TimeNs frameTxTimeOf(const ExpandedStream& s, int frameIndex,
+                     const net::Link& link);
+
+}  // namespace etsn::sched

@@ -1,0 +1,259 @@
+#include "sched/heuristic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "sched/expand.h"
+
+namespace etsn::sched {
+
+HeuristicPlacer::HeuristicPlacer(const net::Topology& topo,
+                                 std::vector<ExpandedStream> streams,
+                                 const SchedulerConfig& config)
+    : topo_(topo), streams_(std::move(streams)), config_(config) {
+  tu_ = 0;
+  for (const ExpandedStream& s : streams_) {
+    for (const net::LinkId l : s.path) {
+      const TimeNs linkTu = topo_.link(l).timeUnit;
+      if (tu_ == 0) tu_ = linkTu;
+      if (linkTu != tu_) {
+        throw ConfigError(
+            "heuristic scheduling requires a uniform time unit across links");
+      }
+    }
+  }
+  if (tu_ == 0) tu_ = microseconds(1);
+  byLink_.resize(static_cast<std::size_t>(topo_.numLinks()));
+}
+
+bool HeuristicPlacer::periodicOverlap(std::int64_t a, std::int64_t la,
+                                      std::int64_t ta, std::int64_t b,
+                                      std::int64_t lb, std::int64_t tb) {
+  // Overlap iff some multiple of g = gcd(ta, tb) lies strictly inside
+  // (a - b - lb, a - b + la).
+  const std::int64_t g = std::gcd(ta, tb);
+  const std::int64_t lo = a - b - lb;  // exclusive
+  const std::int64_t hi = a - b + la;  // exclusive
+  // Smallest multiple of g strictly greater than lo:
+  std::int64_t k = (lo >= 0) ? (lo / g + 1) : -((-lo) / g);
+  if (k * g <= lo) ++k;
+  return k * g < hi;
+}
+
+std::int64_t HeuristicPlacer::pushPast(std::int64_t a, std::int64_t /*la*/,
+                                       std::int64_t ta, std::int64_t b,
+                                       std::int64_t lb, std::int64_t tb) {
+  // Move `a` forward to the end of the earliest colliding occurrence.
+  const std::int64_t g = std::gcd(ta, tb);
+  const std::int64_t lo = a - b - lb;
+  std::int64_t k = (lo >= 0) ? (lo / g + 1) : -((-lo) / g);
+  if (k * g <= lo) ++k;
+  // The colliding occurrence starts at b + k*g; clear it.
+  const std::int64_t aNew = b + k * g + lb;
+  ETSN_CHECK(aNew > a);
+  return aNew;
+}
+
+bool HeuristicPlacer::canOverlapWith(const ExpandedStream& s,
+                                     const Placed& p) const {
+  const ExpandedStream& o = streams_[static_cast<std::size_t>(p.stream)];
+  if (s.kind == StreamKind::Prob && o.kind == StreamKind::Prob) {
+    return s.specId == o.specId;
+  }
+  if (s.kind == StreamKind::Prob && o.kind == StreamKind::Det) return o.share;
+  if (o.kind == StreamKind::Prob && s.kind == StreamKind::Det) return s.share;
+  return false;
+}
+
+bool HeuristicPlacer::needsIsolation(const ExpandedStream& s,
+                                     const Placed& p) const {
+  // The greedy placer can only realize the FifoOrder flavour: presence
+  // separation needs the freedom to move *upstream* slots, which a
+  // single-pass first-fit does not have.  Heuristic schedules therefore
+  // stay valid but may show occasional head-of-line interaction at
+  // runtime (see heuristic.h).
+  if (config_.isolation == SchedulerConfig::Isolation::None) return false;
+  const ExpandedStream& o = streams_[static_cast<std::size_t>(p.stream)];
+  return s.kind == StreamKind::Det && o.kind == StreamKind::Det &&
+         s.priority == o.priority && s.id != o.id;
+}
+
+std::int64_t HeuristicPlacer::findStart(const ExpandedStream& s,
+                                        net::LinkId link, std::int64_t lb,
+                                        std::int64_t hi, std::int64_t len,
+                                        std::int64_t arrival) {
+  const std::int64_t period = s.period / tu_;
+  std::int64_t a = lb;
+  bool moved = true;
+  while (moved) {
+    if (a > hi) return -1;
+    moved = false;
+    for (const Placed& p : byLink_[static_cast<std::size_t>(link)]) {
+      if (p.stream == s.id) continue;  // sequencing handled via lb
+      const bool isolate = needsIsolation(s, p);
+      if (canOverlapWith(s, p) && !isolate) continue;
+      // Slot non-overlap check (5).
+      if (periodicOverlap(a, len, period, p.start, p.len, p.period)) {
+        a = pushPast(a, len, period, p.start, p.len, p.period);
+        moved = true;
+        if (a > hi) return -1;
+        continue;
+      }
+      if (!isolate) continue;
+      // FIFO consistency (resolvable direction): among all repetition
+      // offsets d (multiples of g) where the placed frame arrives no later
+      // than us (p.arrival + d <= arrival), the binding requirement is the
+      // largest such d: our slot must start after that occurrence ends.
+      // (The converse direction — we arrived strictly earlier but only fit
+      // after — is accepted as a benign same-queue swap; the SMT engine
+      // forbids it exactly.)
+      const std::int64_t g = std::gcd(period, p.period);
+      const std::int64_t myArrival = arrival < 0 ? a : arrival;
+      const std::int64_t diff = myArrival - p.arrival;
+      const std::int64_t dmax =
+          diff >= 0 ? (diff / g) * g : -ceilDiv(-diff, g) * g;
+      const std::int64_t required = p.start + dmax + p.len;
+      if (a < required) {
+        a = required;
+        moved = true;
+        if (a > hi) return -1;
+      }
+    }
+  }
+  return a;
+}
+
+bool HeuristicPlacer::placeStream(const ExpandedStream& s) {
+  const std::int64_t period = s.period / tu_;
+  const std::int64_t ot = ceilDiv(s.occurrence, tu_);
+  const std::int64_t slide = ot;
+
+  std::vector<std::vector<std::int64_t>> placed(
+      static_cast<std::size_t>(s.hops()));
+  std::vector<std::vector<std::int64_t>> arrivals(
+      static_cast<std::size_t>(s.hops()));
+
+  for (int hop = 0; hop < s.hops(); ++hop) {
+    const net::LinkId link = s.path[static_cast<std::size_t>(hop)];
+    const net::Link& l = topo_.link(link);
+    const int frames = s.framesOnLink[static_cast<std::size_t>(hop)];
+    const int nUp = hop > 0 ? s.framesOnLink[static_cast<std::size_t>(hop - 1)]
+                            : 0;
+    const int o = hop > 0 ? std::max(nUp - frames, 0) : 0;
+    const std::int64_t hopDelay =
+        hop > 0 ? ceilDiv(topo_.link(s.path[static_cast<std::size_t>(hop - 1)])
+                                  .propagationDelay +
+                              config_.switchProcessingDelay +
+                              config_.syncErrorMargin,
+                          tu_)
+                : 0;
+    for (int j = 0; j < frames; ++j) {
+      const std::int64_t len = ceilDiv(frameTxTimeOf(s, j, l), tu_);
+      std::int64_t lb = 0;
+      std::int64_t arrival = 0;
+      if (hop == 0) {
+        if (j == 0) lb = ot;
+        if (j > 0) {
+          const auto& prev = placed[0];
+          lb = prev[static_cast<std::size_t>(j - 1)] +
+               ceilDiv(frameTxTimeOf(s, j - 1, l), tu_);
+        }
+        // The talker paces frames per the schedule: each frame enters the
+        // queue at its own slot (sentinel: arrival tracks the candidate).
+        arrival = -1;
+      } else {
+        const int upIdx = std::min(j + o, nUp - 1);
+        const net::Link& upLink =
+            topo_.link(s.path[static_cast<std::size_t>(hop - 1)]);
+        arrival = placed[static_cast<std::size_t>(hop - 1)]
+                        [static_cast<std::size_t>(upIdx)] +
+                  ceilDiv(frameTxTimeOf(s, upIdx, upLink), tu_) + hopDelay;
+        lb = arrival;
+        if (j > 0) {
+          lb = std::max(lb, placed[static_cast<std::size_t>(hop)]
+                                  [static_cast<std::size_t>(j - 1)] +
+                                ceilDiv(frameTxTimeOf(s, j - 1, l), tu_));
+        }
+      }
+      const std::int64_t hiB = period + slide - len;
+      const std::int64_t start = findStart(s, link, lb, hiB, len, arrival);
+      if (start < 0) return false;
+      placed[static_cast<std::size_t>(hop)].push_back(start);
+      arrivals[static_cast<std::size_t>(hop)].push_back(
+          hop == 0 ? start : arrival);
+    }
+  }
+
+  // (4): end-to-end latency including the final frame's wire and
+  // propagation time (the measured metric).
+  const int lastHop = s.hops() - 1;
+  const net::Link& lastLink =
+      topo_.link(s.path[static_cast<std::size_t>(lastHop)]);
+  const int lastFrames = s.framesOnLink[static_cast<std::size_t>(lastHop)];
+  const std::int64_t last =
+      placed[static_cast<std::size_t>(lastHop)].back() +
+      ceilDiv(frameTxTimeOf(s, lastFrames - 1, lastLink), tu_) +
+      ceilDiv(lastLink.propagationDelay, tu_);
+  const std::int64_t e2e = s.maxLatency / tu_;
+  const std::int64_t origin =
+      s.kind == StreamKind::Det ? placed[0][0] : ot;
+  if (last - origin > e2e) return false;
+
+  // Commit.
+  for (int hop = 0; hop < s.hops(); ++hop) {
+    const net::LinkId link = s.path[static_cast<std::size_t>(hop)];
+    const net::Link& l = topo_.link(link);
+    const int frames = s.framesOnLink[static_cast<std::size_t>(hop)];
+    for (int j = 0; j < frames; ++j) {
+      const std::int64_t start =
+          placed[static_cast<std::size_t>(hop)][static_cast<std::size_t>(j)];
+      const std::int64_t len = ceilDiv(frameTxTimeOf(s, j, l), tu_);
+      byLink_[static_cast<std::size_t>(link)].push_back(
+          {s.id, hop, j, start, len, period,
+           arrivals[static_cast<std::size_t>(hop)][static_cast<std::size_t>(j)],
+           s.priority});
+      Slot slot;
+      slot.stream = s.id;
+      slot.hop = hop;
+      slot.frameIndex = j;
+      slot.start = start * tu_;
+      slot.duration = len * tu_;
+      slots_.push_back(slot);
+    }
+  }
+  return true;
+}
+
+bool HeuristicPlacer::place() {
+  slots_.clear();
+  for (auto& v : byLink_) v.clear();
+
+  // Order: deterministic streams first (tightest laxity first), then
+  // probabilistic streams in occurrence order so early possibilities grab
+  // the early shared slots.
+  std::vector<const ExpandedStream*> order;
+  for (const ExpandedStream& s : streams_) order.push_back(&s);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const ExpandedStream* a, const ExpandedStream* b) {
+                     if ((a->kind == StreamKind::Det) !=
+                         (b->kind == StreamKind::Det)) {
+                       return a->kind == StreamKind::Det;
+                     }
+                     if (a->kind == StreamKind::Det) {
+                       return a->maxLatency < b->maxLatency;
+                     }
+                     if (a->specId != b->specId) return a->specId < b->specId;
+                     return a->occurrence < b->occurrence;
+                   });
+  for (const ExpandedStream* s : order) {
+    if (!placeStream(*s)) {
+      ETSN_LOG(Info) << "heuristic placer failed on stream " << s->name;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace etsn::sched

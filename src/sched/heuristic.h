@@ -1,0 +1,70 @@
+// First-fit heuristic placer.
+//
+// A greedy, incomplete alternative to the SMT engine for large instances
+// (in the spirit of the online schedulers surveyed in §VII-C): streams are
+// placed one by one, each frame at the earliest offset that respects the
+// same constraint semantics as the SMT formulation — time bounds (1)-(2),
+// sequencing (3), latency (4), periodic non-overlap (5) with the
+// probabilistic-stream exceptions, adjacent-link ordering (7), and
+// same-queue frame isolation.  May fail where SMT succeeds; never produces
+// an invalid schedule (the validator accepts everything it emits).
+#pragma once
+
+#include <vector>
+
+#include "net/topology.h"
+#include "sched/schedule.h"
+
+namespace etsn::sched {
+
+class HeuristicPlacer {
+ public:
+  HeuristicPlacer(const net::Topology& topo,
+                  std::vector<ExpandedStream> streams,
+                  const SchedulerConfig& config);
+
+  /// Returns true on success; slots() is then populated.
+  bool place();
+
+  const std::vector<Slot>& slots() const { return slots_; }
+  const std::vector<ExpandedStream>& streams() const { return streams_; }
+
+ private:
+  struct Placed {
+    StreamId stream;
+    int hop;
+    int frameIndex;
+    std::int64_t start;   // tu
+    std::int64_t len;     // tu
+    std::int64_t period;  // tu
+    std::int64_t arrival; // tu; when the frame is present in the queue
+    int priority;
+  };
+
+  bool placeStream(const ExpandedStream& s);
+  /// Earliest start >= lb on `link` avoiding periodic conflicts; returns
+  /// -1 if none <= hi exists.
+  std::int64_t findStart(const ExpandedStream& s, net::LinkId link,
+                         std::int64_t lb, std::int64_t hi, std::int64_t len,
+                         std::int64_t arrival);
+
+  static bool periodicOverlap(std::int64_t a, std::int64_t la,
+                              std::int64_t ta, std::int64_t b,
+                              std::int64_t lb, std::int64_t tb);
+  /// Smallest a' >= a resolving the overlap of (a,la,ta) vs (b,lb,tb).
+  static std::int64_t pushPast(std::int64_t a, std::int64_t la,
+                               std::int64_t ta, std::int64_t b,
+                               std::int64_t lb, std::int64_t tb);
+
+  bool canOverlapWith(const ExpandedStream& s, const Placed& p) const;
+  bool needsIsolation(const ExpandedStream& s, const Placed& p) const;
+
+  const net::Topology& topo_;
+  std::vector<ExpandedStream> streams_;
+  SchedulerConfig config_;
+  TimeNs tu_;
+  std::vector<std::vector<Placed>> byLink_;  // indexed by LinkId
+  std::vector<Slot> slots_;
+};
+
+}  // namespace etsn::sched

@@ -1,0 +1,120 @@
+#include "sched/incremental.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "net/ethernet.h"
+#include "sched/expand.h"
+
+namespace etsn::sched {
+
+IncrementalScheduler::IncrementalScheduler(
+    const net::Topology& topo, std::vector<net::StreamSpec> specs,
+    const SchedulerConfig& config)
+    : topo_(topo), config_(config), specs_(std::move(specs)) {
+  Expansion exp = expandStreams(topo_, specs_, config_);
+  specToStreams_ = std::move(exp.specToStreams);
+  smt_ = std::make_unique<ScheduleSmt>(topo_, std::move(exp.streams),
+                                       config_);
+  smt_->buildConstraints();
+  feasible_ = (smt_->solve() == smt::Result::Sat);
+  if (feasible_) slots_ = smt_->extractSlots();
+}
+
+IncrementalScheduler::~IncrementalScheduler() = default;
+
+bool IncrementalScheduler::admit(const net::StreamSpec& spec,
+                                 bool freezeExisting) {
+  ETSN_CHECK_MSG(feasible_, "base schedule is infeasible");
+  if (spec.type != net::TrafficClass::TimeTriggered) {
+    throw ConfigError(
+        "online admission supports TCT streams only (ECT changes prudent "
+        "reservation of existing streams; re-solve offline)");
+  }
+  net::validateSpec(topo_, spec);
+
+  // Expand the single stream, including prudent extras against the ECT
+  // streams already in the network.
+  ExpandedStream s;
+  s.id = static_cast<StreamId>(smt_->streams().size());
+  s.specId = static_cast<std::int32_t>(specs_.size());
+  s.name = spec.name;
+  s.kind = StreamKind::Det;
+  s.path = spec.path.empty() ? topo_.shortestPath(spec.src, spec.dst)
+                             : spec.path;
+  s.share = spec.share;
+  s.period = spec.period;
+  s.maxLatency = spec.maxLatency;
+  s.occurrence = spec.releaseOffset;
+  s.framePayloads = net::fragmentPayload(spec.payloadBytes);
+  s.framesOnLink.assign(s.path.size(), s.baseFrames());
+  if (spec.priority >= 0) {
+    s.priority = spec.priority;
+  } else {
+    s.priority = spec.share ? config_.sharedPrioLow : config_.nonSharedPrioLow;
+  }
+  if (config_.prudentReservation && s.share) {
+    for (std::size_t hop = 0; hop < s.path.size(); ++hop) {
+      for (std::size_t e = 0; e < specs_.size(); ++e) {
+        if (specs_[e].type != net::TrafficClass::EventTriggered) continue;
+        const auto& probIds = specToStreams_[e];
+        ETSN_CHECK(!probIds.empty());
+        const ExpandedStream& pe =
+            smt_->streams()[static_cast<std::size_t>(probIds[0])];
+        if (std::find(pe.path.begin(), pe.path.end(), s.path[hop]) ==
+            pe.path.end())
+          continue;
+        s.framesOnLink[hop] += prudentExtraFrames(
+            s.baseFrames(), maxFrameTxTime(s, topo_.link(s.path[hop])),
+            pe.baseFrames(), specs_[e].period);
+      }
+    }
+  }
+
+  // Guarded emission + trial solve under the activation literal.  Pin
+  // first: the model snapshot is only valid until new clauses arrive.
+  const smt::Lit guard = smt_->solver().boolVar();
+  if (freezeExisting) {
+    smt_->pinStreams(static_cast<int>(smt_->streams().size()), guard);
+  }
+  smt_->addStreamGuarded(s, guard);
+  std::vector<smt::Lit> assumptions(committedGuards_);
+  assumptions.push_back(guard);
+  const smt::Result r = smt_->solver().solve(assumptions);
+  if (r != smt::Result::Sat) {
+    // Permanently deactivate the guard: the stream's clauses are vacuous
+    // and the previous schedule (and model) remains reachable.
+    smt_->solver().require(~guard);
+    smt_->removeLastStream();
+    ++rejections_;
+    // Restore the previous model for later pinning/extraction.
+    const smt::Result back = smt_->solver().solve(committedGuards_);
+    ETSN_CHECK_MSG(back == smt::Result::Sat,
+                   "previous schedule must remain satisfiable");
+    return false;
+  }
+  committedGuards_.push_back(guard);
+  specs_.push_back(spec);
+  specToStreams_.push_back({s.id});
+  slots_ = smt_->extractSlots();
+  ++admissions_;
+  return true;
+}
+
+Schedule IncrementalScheduler::schedule() const {
+  Schedule out;
+  out.config = config_;
+  out.specs = specs_;
+  out.streams = smt_->streams();
+  out.specToStreams = specToStreams_;
+  out.slots = slots_;
+  out.info.feasible = feasible_;
+  out.info.engine = "smt-incremental";
+  std::vector<std::int64_t> periods;
+  for (const ExpandedStream& s : out.streams) periods.push_back(s.period);
+  if (!periods.empty()) out.hyperperiod = lcmAll(periods);
+  return out;
+}
+
+}  // namespace etsn::sched

@@ -1,0 +1,65 @@
+// Online (incremental) admission of TCT streams — the §VII-C direction.
+//
+// Starting from a base schedule (TCT + ECT, solved jointly), additional
+// time-triggered streams can be admitted one at a time while the network
+// runs.  Each admission reuses the same SMT solver (learned clauses
+// included, in the spirit of Steiner's incremental backtracking [18]):
+// the new stream's constraints are guarded by an activation literal, the
+// instance is solved under that assumption, and the guard is committed on
+// success or permanently disabled on rejection — so a failed admission
+// leaves the established schedule untouched.
+//
+// `freezeExisting` pins every admitted slot to its current offset, i.e.
+// running streams are not reconfigured by an admission (zero disruption);
+// without it the solver may rearrange earlier streams to make room.
+//
+// Admitting new *ECT* streams online is not supported: prudent
+// reservation changes the frame counts of already-scheduled shared
+// streams, which requires an offline re-solve (see DESIGN.md).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/stream.h"
+#include "net/topology.h"
+#include "sched/schedule.h"
+#include "sched/smt_builder.h"
+
+namespace etsn::sched {
+
+class IncrementalScheduler {
+ public:
+  /// Build and solve the base schedule.  Throws ConfigError on invalid
+  /// input; check feasible() before admitting.
+  IncrementalScheduler(const net::Topology& topo,
+                       std::vector<net::StreamSpec> specs,
+                       const SchedulerConfig& config);
+  ~IncrementalScheduler();
+
+  bool feasible() const { return feasible_; }
+
+  /// Try to admit one additional TCT stream.  Returns true and extends
+  /// the schedule, or false leaving the previous schedule valid.
+  bool admit(const net::StreamSpec& spec, bool freezeExisting = true);
+
+  /// The current schedule over all admitted specs (base + admissions).
+  Schedule schedule() const;
+
+  int admissions() const { return admissions_; }
+  int rejections() const { return rejections_; }
+
+ private:
+  const net::Topology& topo_;
+  SchedulerConfig config_;
+  std::vector<net::StreamSpec> specs_;
+  std::vector<std::vector<StreamId>> specToStreams_;
+  std::unique_ptr<ScheduleSmt> smt_;
+  std::vector<Slot> slots_;
+  std::vector<smt::Lit> committedGuards_;
+  bool feasible_ = false;
+  int admissions_ = 0;
+  int rejections_ = 0;
+};
+
+}  // namespace etsn::sched

@@ -1,0 +1,30 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+
+namespace etsn::sched {
+
+std::vector<Slot> Schedule::slotsOf(StreamId s, int hop) const {
+  std::vector<Slot> out;
+  for (const Slot& slot : slots) {
+    if (slot.stream == s && slot.hop == hop) out.push_back(slot);
+  }
+  std::sort(out.begin(), out.end(), [](const Slot& a, const Slot& b) {
+    return a.frameIndex < b.frameIndex;
+  });
+  return out;
+}
+
+std::vector<Slot> Schedule::slotsOnLink(net::LinkId link,
+                                        const net::Topology&) const {
+  std::vector<Slot> out;
+  for (const Slot& slot : slots) {
+    const ExpandedStream& s = streams[static_cast<std::size_t>(slot.stream)];
+    if (s.path[static_cast<std::size_t>(slot.hop)] == link) {
+      out.push_back(slot);
+    }
+  }
+  return out;
+}
+
+}  // namespace etsn::sched

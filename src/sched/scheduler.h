@@ -1,0 +1,51 @@
+// Scheduling entry points: E-TSN and the two baselines of §VI-A2.
+//
+//  * ETSN   — the paper's contribution: probabilistic streams, prioritized
+//             slot sharing, prudent reservation, solved jointly as SMT.
+//  * PERIOD — ECT treated as TCT with dedicated slots at period
+//             T / slotFactor (slotFactor slots per minimum interevent).
+//  * AVB    — ECT carried as 802.1Qav credit-based-shaper traffic in the
+//             unallocated time-slots; only TCT is scheduled.
+#pragma once
+
+#include <vector>
+
+#include "net/stream.h"
+#include "net/topology.h"
+#include "sched/schedule.h"
+
+namespace etsn::sched {
+
+enum class Method { ETSN, PERIOD, AVB };
+
+const char* methodName(Method m);
+
+struct ScheduleOptions {
+  SchedulerConfig config;
+  Method method = Method::ETSN;
+  /// PERIOD baseline: dedicated ECT slots per minimum interevent time.
+  /// 0 = match E-TSN's probabilistic stream count (the paper's "as many
+  /// time-slots as E-TSN"); Fig. 12 sweeps multiples of it.
+  int periodSlotFactor = 0;
+  /// AVB baseline: class-A idle slope as a fraction of link bandwidth.
+  double avbIdleSlopeFraction = 0.75;
+  /// Use the first-fit heuristic placer instead of the SMT solver (same
+  /// constraint semantics, incomplete but fast; see sched/heuristic.h).
+  bool useHeuristic = false;
+};
+
+/// Full schedule result, including runtime metadata for the simulator.
+struct MethodSchedule {
+  Schedule schedule;
+  Method method = Method::ETSN;
+  double avbIdleSlopeFraction = 0.75;
+};
+
+/// Compute a schedule for the given method.  Throws ConfigError on invalid
+/// input; returns schedule.info.feasible == false if the SMT instance is
+/// UNSAT or the budget was exhausted.
+MethodSchedule buildSchedule(const net::Topology& topo,
+                             const std::vector<net::StreamSpec>& specs,
+                             const ScheduleOptions& options);
+
+}  // namespace etsn::sched

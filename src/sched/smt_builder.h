@@ -1,0 +1,100 @@
+// SMT formulation of the joint TCT+ECT scheduling problem (§IV).
+//
+// Frame offsets phi are integer-difference-logic variables in units of the
+// network's (uniform) scheduling time unit tu.  The four constraint
+// families of §IV-B are encoded 1:1:
+//   (1) time bounds, (2) occurrence time, (3) same-link sequencing,
+//   (4) end-to-end latency, (5) frame overlap with the probabilistic-
+//   stream exceptions, (6) priorities (resolved statically in expansion),
+//   (7) adjacent-link ordering with the prudent-reservation index offset.
+// An optional frame-isolation family (standard in Qbv synthesis, cf.
+// Craciunas et al. RTNS'16) keeps same-queue TCT streams from interleaving
+// inside an egress FIFO so the runtime behaves like the schedule.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "sched/schedule.h"
+#include "smt/solver.h"
+
+namespace etsn::sched {
+
+class ScheduleSmt {
+ public:
+  ScheduleSmt(const net::Topology& topo, std::vector<ExpandedStream> streams,
+              const SchedulerConfig& config);
+
+  /// Encode all constraint families into the solver.
+  void buildConstraints();
+
+  /// Append one stream after construction (online admission): allocates
+  /// its variables and emits its per-stream constraints plus the pairwise
+  /// families against every existing stream.  All new clauses are guarded
+  /// by `guard` — solve with it as an assumption; require(guard) to commit
+  /// or require(~guard) to discard (the incremental-SAT idiom).  The
+  /// stream's id must equal the current stream count.
+  void addStreamGuarded(const ExpandedStream& s, smt::Lit guard);
+
+  /// Pin variables of streams [0, n) to their values in the last model,
+  /// guarded by `guard` (freeze existing slots during admission).
+  void pinStreams(int n, smt::Lit guard);
+
+  /// Drop the most recently added stream (after a rejected admission).
+  /// Its guarded clauses stay in the solver but are permanently disabled
+  /// by requiring the guard's negation; the stream no longer participates
+  /// in pair constraints or slot extraction.
+  void removeLastStream();
+
+  smt::Result solve();
+
+  /// Extract reserved slots from the model (valid after Result::Sat).
+  std::vector<Slot> extractSlots() const;
+
+  const smt::Solver& solver() const { return *solver_; }
+  smt::Solver& solver() { return *solver_; }
+
+  /// The uniform scheduling time unit (validated across all used links).
+  TimeNs tu() const { return tu_; }
+
+  const std::vector<ExpandedStream>& streams() const { return streams_; }
+
+ private:
+  smt::IntVar phi(StreamId s, int hop, int frame) const;
+  std::int64_t frameLenTu(const ExpandedStream& s, int hop, int frame) const;
+  std::int64_t periodTu(const ExpandedStream& s) const;
+  std::int64_t occurrenceTu(const ExpandedStream& s) const;
+  /// Inclusive variable bounds used both for (1) and to trim the
+  /// hyperperiod-offset enumeration in (5).
+  std::int64_t loBound(const ExpandedStream& s) const;
+  std::int64_t hiBound(const ExpandedStream& s, int hop, int frame) const;
+
+  /// Emit with an optional guard literal: `require`-style facts become
+  /// (~guard ∨ fact); disjunctions get ~guard as an extra literal.
+  void emit(smt::Lit fact);
+  void emitOr(smt::Lit a, smt::Lit b);
+
+  /// Per-stream families (1)-(4) and (7) for one stream.
+  void emitStreamLocal(const ExpandedStream& s);
+  /// Pairwise families (5) and isolation for one stream pair.
+  void emitPair(const ExpandedStream& a, const ExpandedStream& b);
+  void emitOverlapPair(const ExpandedStream& a, const ExpandedStream& b);
+  void emitIsolationPair(const ExpandedStream& a, const ExpandedStream& b);
+  void allocateVars(const ExpandedStream& s);
+
+  static bool canOverlap(const ExpandedStream& a, const ExpandedStream& b);
+
+  smt::Lit guard_ = smt::kLitUndef;  // active guard during emission
+
+  const net::Topology& topo_;
+  std::vector<ExpandedStream> streams_;
+  SchedulerConfig config_;
+  TimeNs tu_ = 0;
+  std::unique_ptr<smt::Solver> solver_;
+  // var index per stream: flat [hop][frame] offsets.
+  std::vector<std::vector<smt::IntVar>> vars_;
+  std::vector<std::vector<int>> hopBase_;  // per stream: var offset per hop
+};
+
+}  // namespace etsn::sched

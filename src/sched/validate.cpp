@@ -1,0 +1,216 @@
+#include "sched/validate.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.h"
+#include "sched/expand.h"
+
+namespace etsn::sched {
+
+namespace {
+
+bool canOverlapPair(const ExpandedStream& a, const ExpandedStream& b) {
+  if (a.kind == StreamKind::Prob && b.kind == StreamKind::Prob) {
+    return a.specId == b.specId;
+  }
+  if (a.kind == StreamKind::Prob && b.kind == StreamKind::Det) return b.share;
+  if (b.kind == StreamKind::Prob && a.kind == StreamKind::Det) return a.share;
+  return false;
+}
+
+/// Do periodic intervals (a, la, ta) and (b, lb, tb) ever intersect?
+bool periodicOverlap(TimeNs a, TimeNs la, TimeNs ta, TimeNs b, TimeNs lb,
+                     TimeNs tb) {
+  const TimeNs g = std::gcd(ta, tb);
+  const TimeNs lo = a - b - lb;
+  const TimeNs hi = a - b + la;
+  TimeNs k = (lo >= 0) ? (lo / g + 1) : -((-lo) / g);
+  if (k * g <= lo) ++k;
+  return k * g < hi;
+}
+
+}  // namespace
+
+std::vector<Violation> validate(const net::Topology& topo,
+                                const Schedule& sched) {
+  std::vector<Violation> out;
+  auto report = [&](const char* c, const std::string& d) {
+    out.push_back({c, d});
+  };
+
+  // Index slots: per stream, per hop, by frame.
+  struct Key {
+    StreamId s;
+    int hop;
+  };
+  std::vector<std::vector<std::vector<const Slot*>>> index(
+      sched.streams.size());
+  for (const ExpandedStream& s : sched.streams) {
+    index[static_cast<std::size_t>(s.id)].resize(
+        static_cast<std::size_t>(s.hops()));
+    for (int h = 0; h < s.hops(); ++h) {
+      index[static_cast<std::size_t>(s.id)][static_cast<std::size_t>(h)]
+          .resize(static_cast<std::size_t>(
+                      s.framesOnLink[static_cast<std::size_t>(h)]),
+                  nullptr);
+    }
+  }
+  for (const Slot& slot : sched.slots) {
+    if (slot.stream < 0 ||
+        static_cast<std::size_t>(slot.stream) >= sched.streams.size()) {
+      report("structure", "slot references unknown stream");
+      continue;
+    }
+    const ExpandedStream& s =
+        sched.streams[static_cast<std::size_t>(slot.stream)];
+    if (slot.hop < 0 || slot.hop >= s.hops() || slot.frameIndex < 0 ||
+        slot.frameIndex >= s.framesOnLink[static_cast<std::size_t>(slot.hop)]) {
+      report("structure", "slot index out of range for " + s.name);
+      continue;
+    }
+    auto& cell = index[static_cast<std::size_t>(slot.stream)]
+                      [static_cast<std::size_t>(slot.hop)]
+                      [static_cast<std::size_t>(slot.frameIndex)];
+    if (cell != nullptr) {
+      report("structure", "duplicate slot for " + s.name);
+    }
+    cell = &slot;
+  }
+  for (const ExpandedStream& s : sched.streams) {
+    for (int h = 0; h < s.hops(); ++h) {
+      for (int j = 0; j < s.framesOnLink[static_cast<std::size_t>(h)]; ++j) {
+        if (index[static_cast<std::size_t>(s.id)][static_cast<std::size_t>(h)]
+                 [static_cast<std::size_t>(j)] == nullptr) {
+          std::ostringstream os;
+          os << s.name << " hop " << h << " frame " << j << " has no slot";
+          report("structure", os.str());
+        }
+      }
+    }
+  }
+  if (!out.empty()) return out;  // structural problems make the rest moot
+
+  auto slotOf = [&](StreamId sid, int hop, int j) -> const Slot& {
+    return *index[static_cast<std::size_t>(sid)][static_cast<std::size_t>(hop)]
+                 [static_cast<std::size_t>(j)];
+  };
+
+  for (const ExpandedStream& s : sched.streams) {
+    const TimeNs slide = s.occurrence;
+    for (int h = 0; h < s.hops(); ++h) {
+      const net::Link& link = topo.link(s.path[static_cast<std::size_t>(h)]);
+      const int frames = s.framesOnLink[static_cast<std::size_t>(h)];
+      for (int j = 0; j < frames; ++j) {
+        const Slot& sl = slotOf(s.id, h, j);
+        // (1) time bounds.
+        if (sl.start < 0) {
+          report("(1) time", s.name + ": negative offset");
+        }
+        if (sl.start + sl.duration > s.period + slide) {
+          report("(1) time", s.name + ": slot exceeds period");
+        }
+        // Slot must be long enough for its frame.
+        if (sl.duration < frameTxTimeOf(s, j, link)) {
+          report("(1) time", s.name + ": slot shorter than frame wire time");
+        }
+        // (3) sequencing.
+        if (j > 0) {
+          const Slot& prev = slotOf(s.id, h, j - 1);
+          if (prev.start + prev.duration > sl.start) {
+            report("(3) sequencing", s.name + ": frames out of order");
+          }
+        }
+      }
+    }
+    // (2) occurrence / release time.
+    if (slotOf(s.id, 0, 0).start < s.occurrence) {
+      report("(2) occurrence", s.name + ": first slot before occurrence");
+    }
+    // (4) end-to-end latency over the last reserved slot, including the
+    // final frame's wire and propagation time (the measured metric).
+    const int lastHop = s.hops() - 1;
+    const Slot& last = slotOf(
+        s.id, lastHop, s.framesOnLink[static_cast<std::size_t>(lastHop)] - 1);
+    const net::Link& lastLink =
+        topo.link(s.path[static_cast<std::size_t>(lastHop)]);
+    const TimeNs origin = s.kind == StreamKind::Det
+                              ? slotOf(s.id, 0, 0).start
+                              : s.occurrence;
+    const TimeNs completion =
+        last.start + last.duration + lastLink.propagationDelay;
+    if (completion - origin > s.maxLatency) {
+      std::ostringstream os;
+      os << s.name << ": latency " << formatTime(completion - origin)
+         << " exceeds " << formatTime(s.maxLatency);
+      report("(4) latency", os.str());
+    }
+    // (7) adjacent links with the prudent-reservation index offset.
+    for (int h = 1; h < s.hops(); ++h) {
+      const net::Link& up = topo.link(s.path[static_cast<std::size_t>(h - 1)]);
+      const int nUp = s.framesOnLink[static_cast<std::size_t>(h - 1)];
+      const int nDown = s.framesOnLink[static_cast<std::size_t>(h)];
+      const int o = std::max(nUp - nDown, 0);
+      for (int j = 0; j < nDown; ++j) {
+        const int upIdx = std::min(j + o, nUp - 1);
+        const Slot& upSlot = slotOf(s.id, h - 1, upIdx);
+        const Slot& downSlot = slotOf(s.id, h, j);
+        if (downSlot.start < upSlot.start + upSlot.duration +
+                                 up.propagationDelay +
+                                 sched.config.switchProcessingDelay) {
+          std::ostringstream os;
+          os << s.name << " hop " << h << " frame " << j
+             << " opens before full upstream arrival";
+          report("(7) adjacency", os.str());
+        }
+      }
+    }
+  }
+
+  // (5) frame overlap with the probabilistic exceptions.
+  for (std::size_t ia = 0; ia < sched.streams.size(); ++ia) {
+    const ExpandedStream& a = sched.streams[ia];
+    for (std::size_t ib = ia + 1; ib < sched.streams.size(); ++ib) {
+      const ExpandedStream& b = sched.streams[ib];
+      if (canOverlapPair(a, b)) continue;
+      for (int ha = 0; ha < a.hops(); ++ha) {
+        for (int hb = 0; hb < b.hops(); ++hb) {
+          if (a.path[static_cast<std::size_t>(ha)] !=
+              b.path[static_cast<std::size_t>(hb)])
+            continue;
+          const int na = a.framesOnLink[static_cast<std::size_t>(ha)];
+          const int nb = b.framesOnLink[static_cast<std::size_t>(hb)];
+          for (int fa = 0; fa < na; ++fa) {
+            const Slot& sa = slotOf(a.id, ha, fa);
+            for (int fb = 0; fb < nb; ++fb) {
+              const Slot& sb = slotOf(b.id, hb, fb);
+              if (periodicOverlap(sa.start, sa.duration, a.period, sb.start,
+                                  sb.duration, b.period)) {
+                std::ostringstream os;
+                os << a.name << " frame " << fa << " overlaps " << b.name
+                   << " frame " << fb << " on link "
+                   << topo.link(a.path[static_cast<std::size_t>(ha)]).id;
+                report("(5) overlap", os.str());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void validateOrThrow(const net::Topology& topo, const Schedule& schedule) {
+  const auto violations = validate(topo, schedule);
+  if (violations.empty()) return;
+  std::ostringstream os;
+  os << violations.size() << " schedule violations:";
+  for (std::size_t i = 0; i < violations.size() && i < 5; ++i) {
+    os << "\n  " << violations[i].constraint << ": " << violations[i].detail;
+  }
+  throw InvariantError(os.str());
+}
+
+}  // namespace etsn::sched

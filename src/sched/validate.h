@@ -1,0 +1,29 @@
+// Independent schedule validator.
+//
+// Re-checks every constraint family of §IV on a produced Schedule, without
+// reusing the solver or the builder's encoding — slots are taken at face
+// value and verified arithmetically.  Used by tests (every schedule the
+// SMT engine or the heuristic emits must validate) and by property sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "sched/schedule.h"
+
+namespace etsn::sched {
+
+struct Violation {
+  std::string constraint;  // e.g. "(5) overlap"
+  std::string detail;
+};
+
+/// All violations found (empty = schedule is valid).
+std::vector<Violation> validate(const net::Topology& topo,
+                                const Schedule& schedule);
+
+/// Convenience: throws InvariantError listing the first violations.
+void validateOrThrow(const net::Topology& topo, const Schedule& schedule);
+
+}  // namespace etsn::sched

@@ -1,0 +1,81 @@
+// 802.1Qav credit-based shaper state for one egress queue.
+//
+// Credit (in bits, fractional) accrues at idleSlope while a frame is
+// queued, the gate is open, and the queue is not transmitting; it drains
+// at sendSlope = idleSlope - portRate during the queue's own
+// transmissions; it is clamped to zero when the queue goes empty with
+// positive credit.  Credit is frozen while the Qbv gate is closed (the
+// common Qav+Qbv composition).  A frame may start transmission only with
+// credit >= 0.
+//
+// The port advances this state lazily: setState() closes the elapsed
+// interval under the previous flags and installs new ones.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace etsn::sim {
+
+class CbsState {
+ public:
+  CbsState(std::int64_t idleSlopeBps, std::int64_t portRateBps)
+      : idleSlopeBps_(idleSlopeBps),
+        sendSlopeBps_(idleSlopeBps - portRateBps) {
+    ETSN_CHECK(idleSlopeBps > 0 && idleSlopeBps <= portRateBps);
+  }
+
+  /// Close the interval [lastUpdate, t) under the current flags, then
+  /// install the new flags.
+  void setState(TimeNs t, bool gateOpen, bool hasFrames, bool sending) {
+    advanceTo(t);
+    gateOpen_ = gateOpen;
+    hasFrames_ = hasFrames;
+    sending_ = sending;
+    // Positive credit does not survive an empty queue.
+    if (!hasFrames_ && !sending_ && creditBits_ > 0) creditBits_ = 0;
+  }
+
+  double creditBits(TimeNs t) {
+    advanceTo(t);
+    return creditBits_;
+  }
+
+  /// Earliest time >= t at which credit reaches zero under the current
+  /// (accruing) flags; returns t if already non-negative, -1 if not
+  /// currently accruing.
+  TimeNs creditZeroTime(TimeNs t) {
+    advanceTo(t);
+    if (creditBits_ >= 0) return t;
+    if (!(gateOpen_ && hasFrames_ && !sending_)) return -1;
+    const double secs = -creditBits_ / static_cast<double>(idleSlopeBps_);
+    return t + static_cast<TimeNs>(secs * kNsPerSec) + 1;
+  }
+
+  std::int64_t idleSlopeBps() const { return idleSlopeBps_; }
+
+ private:
+  void advanceTo(TimeNs t) {
+    ETSN_CHECK(t >= lastUpdate_);
+    const double dtSec =
+        static_cast<double>(t - lastUpdate_) / static_cast<double>(kNsPerSec);
+    if (sending_) {
+      creditBits_ += dtSec * static_cast<double>(sendSlopeBps_);
+    } else if (gateOpen_ && hasFrames_) {
+      creditBits_ += dtSec * static_cast<double>(idleSlopeBps_);
+    }
+    lastUpdate_ = t;
+  }
+
+  std::int64_t idleSlopeBps_;
+  std::int64_t sendSlopeBps_;
+  double creditBits_ = 0;
+  TimeNs lastUpdate_ = 0;
+  bool gateOpen_ = false;
+  bool hasFrames_ = false;
+  bool sending_ = false;
+};
+
+}  // namespace etsn::sim

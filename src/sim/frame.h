@@ -1,0 +1,26 @@
+// The unit of transmission in the simulator.
+//
+// A message instance (one talker period or one ECT event) is fragmented
+// into MTU-sized frames at the source; the recorder reassembles instances
+// at the destination to compute message latency (§VI-A3: time between the
+// sending of the first frame and the receiving of the last).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace etsn::sim {
+
+struct Frame {
+  std::int32_t specId = -1;     // originating StreamSpec
+  std::int64_t instanceId = 0;  // message instance (unique per spec)
+  int fragIndex = 0;
+  int fragCount = 1;
+  int payloadBytes = 0;
+  int priority = 0;   // egress queue (PCP)
+  TimeNs created = 0;  // creation at the source (event occurrence)
+  int hop = 0;         // current index into the spec's route
+};
+
+}  // namespace etsn::sim

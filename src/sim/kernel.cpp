@@ -1,0 +1,26 @@
+#include "sim/kernel.h"
+
+#include <utility>
+
+namespace etsn::sim {
+
+void Simulator::at(TimeNs t, EventClass cls, Handler fn) {
+  ETSN_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+  queue_.push(Event{t, cls, seq_++, std::move(fn)});
+}
+
+void Simulator::run(TimeNs until) {
+  while (!queue_.empty()) {
+    if (queue_.top().time > until) break;
+    // priority_queue::top() is const; move out via const_cast — safe, the
+    // element is popped immediately.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  now_ = until;
+}
+
+}  // namespace etsn::sim

@@ -1,0 +1,68 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event queue with deterministic ordering: events fire in
+// (time, class, insertion order).  Event classes make same-instant
+// semantics explicit — e.g. a frame enqueue at time t is processed before
+// port service at t, so a talker's frame can leave in a slot that opens at
+// the same nanosecond (matching hardware, where the queue is filled before
+// the gate's clock edge).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "common/time.h"
+
+namespace etsn::sim {
+
+/// Same-instant ordering classes, processed in ascending order.
+enum class EventClass : std::uint8_t {
+  Enqueue = 0,      // frame creation / arrival at a queue
+  PortService = 1,  // transmission selection
+  Control = 2,      // clock sync, statistics rollover
+};
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  TimeNs now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (>= now).
+  void at(TimeNs t, EventClass cls, Handler fn);
+
+  /// Schedule `fn` after a delay.
+  void after(TimeNs delay, EventClass cls, Handler fn) {
+    at(now_ + delay, cls, std::move(fn));
+  }
+
+  /// Run until the queue is empty or simulated time exceeds `until`.
+  void run(TimeNs until);
+
+  std::int64_t eventsProcessed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimeNs time;
+    EventClass cls;
+    std::int64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      if (a.cls != b.cls) return a.cls > b.cls;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  TimeNs now_ = 0;
+  std::int64_t seq_ = 0;
+  std::int64_t processed_ = 0;
+};
+
+}  // namespace etsn::sim

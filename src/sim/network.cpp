@@ -1,0 +1,224 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace etsn::sim {
+
+namespace {
+int maxSpecId(const sched::NetworkProgram& p) {
+  int m = -1;
+  for (const auto& t : p.talkers) m = std::max(m, static_cast<int>(t.specId));
+  for (const auto& e : p.ectSources) {
+    m = std::max(m, static_cast<int>(e.specId));
+  }
+  return m;
+}
+}  // namespace
+
+Network::Network(const net::Topology& topo,
+                 const sched::NetworkProgram& program, const SimConfig& config)
+    : topo_(topo), program_(program), config_(config), rng_(config.seed) {
+  // Clocks: perfect by default, or drifting with periodic sync.
+  clocks_.reserve(static_cast<std::size_t>(topo_.numNodes()));
+  for (int n = 0; n < topo_.numNodes(); ++n) {
+    if (config_.clockDriftPpbMax > 0) {
+      clocks_.emplace_back(rng_.uniformReal(-config_.clockDriftPpbMax,
+                                            config_.clockDriftPpbMax));
+    } else {
+      clocks_.emplace_back();
+    }
+  }
+
+  // One egress port per directed link, gated by the program's GCL.
+  ETSN_CHECK(static_cast<int>(program_.linkGcl.size()) <= topo_.numLinks());
+  ports_.resize(static_cast<std::size_t>(topo_.numLinks()));
+  for (int l = 0; l < topo_.numLinks(); ++l) {
+    const net::Link& link = topo_.link(l);
+    const net::Gcl* gcl =
+        static_cast<std::size_t>(l) < program_.linkGcl.size()
+            ? &program_.linkGcl[static_cast<std::size_t>(l)]
+            : nullptr;
+    auto& port = ports_[static_cast<std::size_t>(l)];
+    port = std::make_unique<EgressPort>(
+        sim_, link, gcl, &clocks_[static_cast<std::size_t>(link.from)],
+        [this, l](const Frame& f, TimeNs txEnd) {
+          if (config_.trace) config_.trace({f, l, txEnd});
+          // Last bit on the wire at txEnd; full reception after the
+          // propagation delay (store-and-forward).
+          const TimeNs rx = txEnd + topo_.link(l).propagationDelay;
+          Frame copy = f;
+          sim_.at(rx, EventClass::Enqueue,
+                  [this, copy, l]() { onFrameReceived(copy, l); });
+        });
+    for (const sched::CbsConfig& cbs : program_.cbs) {
+      port->configureCbs(cbs.queue, cbs.idleSlopeFraction);
+    }
+  }
+
+  const int numSpecs = maxSpecId(program_) + 1;
+  recorder_ = std::make_unique<Recorder>(numSpecs);
+  nextInstanceId_.assign(static_cast<std::size_t>(numSpecs), 0);
+  routes_.assign(static_cast<std::size_t>(numSpecs), nullptr);
+  for (const auto& t : program_.talkers) {
+    recorder_->setDeadline(t.specId, t.maxLatency);
+    routes_[static_cast<std::size_t>(t.specId)] = &t.route;
+  }
+  for (const auto& e : program_.ectSources) {
+    recorder_->setDeadline(e.specId, e.maxLatency);
+    routes_[static_cast<std::size_t>(e.specId)] = &e.route;
+  }
+}
+
+void Network::emitMessage(std::int32_t specId, const std::vector<int>& payloads,
+                          int priority, const std::vector<net::LinkId>& route) {
+  ETSN_CHECK(!route.empty());
+  const std::int64_t instance =
+      nextInstanceId_[static_cast<std::size_t>(specId)]++;
+  recorder_->onMessageCreated(specId);
+  const TimeNs created = sim_.now();
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    Frame f;
+    f.specId = specId;
+    f.instanceId = instance;
+    f.fragIndex = static_cast<int>(i);
+    f.fragCount = static_cast<int>(payloads.size());
+    f.payloadBytes = payloads[i];
+    f.priority = priority;
+    f.created = created;
+    f.hop = 0;
+    ports_[static_cast<std::size_t>(route[0])]->enqueue(std::move(f));
+  }
+}
+
+void Network::onFrameReceived(Frame f, net::LinkId link) {
+  const std::vector<net::LinkId>* route =
+      routes_[static_cast<std::size_t>(f.specId)];
+  ETSN_CHECK_MSG(route != nullptr, "frame for unknown spec");
+  ETSN_CHECK((*route)[static_cast<std::size_t>(f.hop)] == link);
+
+  if (static_cast<std::size_t>(f.hop) + 1 == route->size()) {
+    recorder_->onFrameDelivered(f, sim_.now());
+    return;
+  }
+  // Forward: store-and-forward processing, then enqueue on the next hop.
+  f.hop += 1;
+  const net::LinkId next = (*route)[static_cast<std::size_t>(f.hop)];
+  const Frame fwd = f;
+  sim_.after(program_.switchProcessingDelay, EventClass::Enqueue,
+             [this, fwd, next]() {
+               ports_[static_cast<std::size_t>(next)]->enqueue(fwd);
+             });
+}
+
+void Network::scheduleTalkerInstance(const sched::TalkerConfig& t,
+                                     std::int64_t instance) {
+  // The talker fires on its own clock (aligned with its port's gates) and
+  // paces each frame to its first-link slot (802.1Qbv end station).
+  const Clock& clock =
+      clocks_[static_cast<std::size_t>(topo_.link(t.route[0]).from)];
+  const TimeNs globalFire = std::max(
+      clock.globalTimeFor(t.offset + instance * t.period), sim_.now());
+  if (globalFire > config_.duration) return;
+  sim_.at(globalFire, EventClass::Enqueue, [this, &t, instance]() {
+    const std::int64_t msgInstance =
+        nextInstanceId_[static_cast<std::size_t>(t.specId)]++;
+    recorder_->onMessageCreated(t.specId);
+    const TimeNs created = sim_.now();
+    const Clock& clk =
+        clocks_[static_cast<std::size_t>(topo_.link(t.route[0]).from)];
+    for (std::size_t j = 0; j < t.framePayloads.size(); ++j) {
+      Frame f;
+      f.specId = t.specId;
+      f.instanceId = msgInstance;
+      f.fragIndex = static_cast<int>(j);
+      f.fragCount = static_cast<int>(t.framePayloads.size());
+      f.payloadBytes = t.framePayloads[j];
+      f.priority = t.priority;
+      f.created = created;
+      f.hop = 0;
+      const TimeNs fireAt = std::max(
+          clk.globalTimeFor(t.frameOffsets[j] + instance * t.period),
+          sim_.now());
+      EgressPort* port = ports_[static_cast<std::size_t>(t.route[0])].get();
+      if (fireAt <= sim_.now()) {
+        port->enqueue(std::move(f));
+      } else {
+        sim_.at(fireAt, EventClass::Enqueue,
+                [port, f]() { port->enqueue(f); });
+      }
+    }
+    scheduleTalkerInstance(t, instance + 1);
+  });
+}
+
+void Network::startTalker(const sched::TalkerConfig& t) {
+  scheduleTalkerInstance(t, 0);
+}
+
+void Network::scheduleNextEvent(std::size_t index, TimeNs after) {
+  const sched::EctSourceConfig& e = program_.ectSources[index];
+  Rng& rng = ectRngs_[index];
+  const TimeNs window = config_.ectJitterWindow > 0 ? config_.ectJitterWindow
+                                                    : e.minInterevent;
+  const TimeNs gap = e.minInterevent +
+                     static_cast<TimeNs>(rng.uniformReal(
+                         0, static_cast<double>(window)));
+  const TimeNs fire = after + gap;
+  if (fire > config_.duration) return;
+  sim_.at(fire, EventClass::Enqueue, [this, index, fire]() {
+    const sched::EctSourceConfig& src = program_.ectSources[index];
+    emitMessage(src.specId, src.framePayloads, src.priority, src.route);
+    scheduleNextEvent(index, fire);
+  });
+}
+
+void Network::startEctSource(std::size_t index) {
+  const sched::EctSourceConfig& e = program_.ectSources[index];
+  Rng& rng = ectRngs_[index];
+  // First event: uniformly random phase within one interevent time.
+  const TimeNs first = static_cast<TimeNs>(
+      rng.uniformReal(0, static_cast<double>(e.minInterevent)));
+  sim_.at(first, EventClass::Enqueue, [this, index, first]() {
+    const sched::EctSourceConfig& src = program_.ectSources[index];
+    emitMessage(src.specId, src.framePayloads, src.priority, src.route);
+    scheduleNextEvent(index, first);
+  });
+}
+
+void Network::startPtp() {
+  if (config_.clockDriftPpbMax <= 0) return;
+  // Periodic 802.1AS-style correction on every node.
+  for (int n = 0; n < topo_.numNodes(); ++n) {
+    sim_.at(0, EventClass::Control, [this, n]() { ptpSync(n); });
+  }
+}
+
+void Network::ptpSync(int node) {
+  const TimeNs residual = static_cast<TimeNs>(
+      rng_.uniformReal(-static_cast<double>(config_.syncResidualMax),
+                       static_cast<double>(config_.syncResidualMax)));
+  clocks_[static_cast<std::size_t>(node)].synchronize(sim_.now(), residual);
+  if (sim_.now() + config_.syncInterval <= config_.duration) {
+    sim_.after(config_.syncInterval, EventClass::Control,
+               [this, node]() { ptpSync(node); });
+  }
+}
+
+void Network::run() {
+  for (const auto& t : program_.talkers) startTalker(t);
+  ectRngs_.clear();
+  for (std::size_t i = 0; i < program_.ectSources.size(); ++i) {
+    ectRngs_.push_back(rng_.fork());
+  }
+  if (!config_.suppressEctTraffic) {
+    for (std::size_t i = 0; i < program_.ectSources.size(); ++i) {
+      startEctSource(i);
+    }
+  }
+  startPtp();
+  sim_.run(config_.duration);
+}
+
+}  // namespace etsn::sim

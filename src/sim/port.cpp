@@ -1,0 +1,137 @@
+#include "sim/port.h"
+
+#include <algorithm>
+
+#include "net/ethernet.h"
+
+namespace etsn::sim {
+
+EgressPort::EgressPort(Simulator& sim, const net::Link& link,
+                       const net::Gcl* gcl, const Clock* clock,
+                       TxCompleteFn onTxComplete)
+    : sim_(sim),
+      link_(link),
+      gcl_(gcl),
+      clock_(clock),
+      onTxComplete_(std::move(onTxComplete)) {}
+
+void EgressPort::configureCbs(int queue, double idleSlopeFraction) {
+  ETSN_CHECK(queue >= 0 && queue < net::kNumQueues);
+  ETSN_CHECK(idleSlopeFraction > 0 && idleSlopeFraction <= 1.0);
+  cbsQueue_ = queue;
+  cbs_.emplace(static_cast<std::int64_t>(idleSlopeFraction *
+                                         static_cast<double>(link_.bandwidthBps)),
+               link_.bandwidthBps);
+}
+
+TimeNs EgressPort::txTimeFor(const Frame& f) const {
+  return net::frameTxTime(f.payloadBytes, link_.bandwidthBps);
+}
+
+void EgressPort::enqueue(Frame f) {
+  ETSN_CHECK(f.priority >= 0 && f.priority < net::kNumQueues);
+  auto& q = queues_[static_cast<std::size_t>(f.priority)];
+  q.push_back(std::move(f));
+  stats_.maxQueueDepth =
+      std::max(stats_.maxQueueDepth, static_cast<std::int64_t>(q.size()));
+  syncCbs(sim_.now());
+  // Defer transmission selection to a PortService event at the same
+  // instant so all same-tick arrivals are visible to one selection (as on
+  // hardware, where queues fill before the gate's clock edge).
+  sim_.at(sim_.now(), EventClass::PortService, [this]() { service(); });
+}
+
+void EgressPort::syncCbs(TimeNs now) {
+  if (!cbs_) return;
+  const TimeNs localNow = clock_->localTime(now);
+  const bool gateOpen =
+      gcl_ == nullptr || gcl_->gateOpen(cbsQueue_, localNow);
+  const bool hasFrames =
+      !queues_[static_cast<std::size_t>(cbsQueue_)].empty();
+  const bool sending = sendingQueue_ == cbsQueue_ && busyUntil_ > now;
+  cbs_->setState(now, gateOpen, hasFrames, sending);
+}
+
+bool EgressPort::queueEligible(int q, TimeNs localNow, TimeNs globalNow) {
+  const auto& queue = queues_[static_cast<std::size_t>(q)];
+  if (queue.empty()) return false;
+  const TimeNs txT = txTimeFor(queue.front());
+  if (gcl_ != nullptr && gcl_->installed()) {
+    if (!gcl_->gateOpen(q, localNow)) return false;
+    // Length-aware Qbv: transmission must finish before the gate closes.
+    if (gcl_->openTimeRemaining(q, localNow) < txT) return false;
+  }
+  if (cbs_ && q == cbsQueue_ && cbs_->creditBits(globalNow) < 0) return false;
+  return true;
+}
+
+void EgressPort::service() {
+  const TimeNs now = sim_.now();
+  if (busyUntil_ > now) return;  // reselected when the transmission ends
+  if (sendingQueue_ >= 0) {
+    // A transmission just completed.
+    sendingQueue_ = -1;
+    syncCbs(now);
+  }
+  const TimeNs localNow = clock_->localTime(now);
+
+  // Strict priority among eligible queues.
+  for (int q = net::kNumQueues - 1; q >= 0; --q) {
+    if (!queueEligible(q, localNow, now)) continue;
+    Frame f = std::move(queues_[static_cast<std::size_t>(q)].front());
+    queues_[static_cast<std::size_t>(q)].pop_front();
+    const TimeNs txT = txTimeFor(f);
+    busyUntil_ = now + txT;
+    sendingQueue_ = q;
+    syncCbs(now);  // captures "sending" for the CBS queue
+    ++stats_.framesSent;
+    stats_.bytesSent += net::wireBytes(f.payloadBytes);
+    stats_.busyTime += txT;
+    sim_.at(busyUntil_, EventClass::PortService, [this, f]() {
+      onTxComplete_(f, sim_.now());
+      service();
+    });
+    return;
+  }
+
+  // Nothing eligible: arrange a wake-up at the next time eligibility can
+  // change (gate opening or CBS credit recovery).
+  TimeNs wake = -1;
+  auto consider = [&](TimeNs t) {
+    // Clamp against clock-inversion rounding so the port can never stall.
+    t = std::max(t, now + 1);
+    if (wake < 0 || t < wake) wake = t;
+  };
+  for (int q = 0; q < net::kNumQueues; ++q) {
+    if (queues_[static_cast<std::size_t>(q)].empty()) continue;
+    if (gcl_ != nullptr && gcl_->installed()) {
+      if (!gcl_->gateOpen(q, localNow)) {
+        const TimeNs localOpen = gcl_->nextOpen(q, localNow);
+        if (localOpen >= 0) consider(clock_->globalTimeFor(localOpen));
+        continue;
+      }
+      // Gate open but (length / credit) blocked: re-evaluate at the next
+      // gate boundary.
+      consider(clock_->globalTimeFor(gcl_->nextChange(localNow)));
+    }
+    if (cbs_ && q == cbsQueue_) {
+      const TimeNs zero = cbs_->creditZeroTime(now);
+      if (zero > now) consider(zero);
+    }
+  }
+  if (wake > 0) scheduleWake(wake);
+}
+
+void EgressPort::scheduleWake(TimeNs t) {
+  if (nextWakeAt_ > 0 && nextWakeAt_ <= t && nextWakeAt_ > sim_.now()) {
+    return;  // an earlier or equal wake is already pending
+  }
+  nextWakeAt_ = t;
+  sim_.at(t, EventClass::PortService, [this, t]() {
+    if (nextWakeAt_ == t) nextWakeAt_ = -1;
+    syncCbs(sim_.now());
+    service();
+  });
+}
+
+}  // namespace etsn::sim

@@ -1,0 +1,70 @@
+// Egress port of a TSN node: eight FIFO queues, 802.1Qbv gates with
+// length-aware transmission selection, strict priority among open gates,
+// and an optional credit-based shaper per queue (Fig. 3 of the paper).
+//
+// Gate times are evaluated in the owning node's *local* clock; with the
+// default perfect clocks this equals simulation time, and with drifting
+// clocks the gates slide until the next 802.1AS correction.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "net/gcl.h"
+#include "net/topology.h"
+#include "sim/cbs.h"
+#include "sim/clock.h"
+#include "sim/frame.h"
+#include "sim/kernel.h"
+
+namespace etsn::sim {
+
+struct PortStats {
+  std::int64_t framesSent = 0;
+  std::int64_t bytesSent = 0;
+  TimeNs busyTime = 0;
+  std::int64_t maxQueueDepth = 0;
+};
+
+class EgressPort {
+ public:
+  /// `onTxComplete(frame, txEndTime)` fires when the last bit leaves the
+  /// port; the network layer adds propagation delay and delivers.
+  using TxCompleteFn = std::function<void(const Frame&, TimeNs)>;
+
+  EgressPort(Simulator& sim, const net::Link& link, const net::Gcl* gcl,
+             const Clock* clock, TxCompleteFn onTxComplete);
+
+  void configureCbs(int queue, double idleSlopeFraction);
+
+  /// Enqueue at the current simulation time.
+  void enqueue(Frame f);
+
+  TimeNs txTimeFor(const Frame& f) const;
+
+  const PortStats& stats() const { return stats_; }
+  const net::Link& link() const { return link_; }
+
+ private:
+  void service();
+  void scheduleWake(TimeNs t);
+  void syncCbs(TimeNs now);
+  bool queueEligible(int q, TimeNs localNow, TimeNs globalNow);
+
+  Simulator& sim_;
+  const net::Link& link_;
+  const net::Gcl* gcl_;     // may be uninstalled (all gates open)
+  const Clock* clock_;      // owning node's clock
+  TxCompleteFn onTxComplete_;
+  std::array<std::deque<Frame>, net::kNumQueues> queues_;
+  std::optional<CbsState> cbs_;
+  int cbsQueue_ = -1;
+  TimeNs busyUntil_ = -1;
+  int sendingQueue_ = -1;
+  TimeNs nextWakeAt_ = -1;
+  PortStats stats_;
+};
+
+}  // namespace etsn::sim

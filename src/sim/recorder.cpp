@@ -1,0 +1,25 @@
+#include "sim/recorder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace etsn::sim {
+
+void Recorder::onFrameDelivered(const Frame& f, TimeNs deliveredAt) {
+  ETSN_CHECK(f.specId >= 0 &&
+             static_cast<std::size_t>(f.specId) < records_.size());
+  Pending& p = pending_[{f.specId, f.instanceId}];
+  ++p.received;
+  p.lastArrival = std::max(p.lastArrival, deliveredAt);
+  if (p.received < f.fragCount) return;
+
+  StreamRecord& r = records_[static_cast<std::size_t>(f.specId)];
+  const TimeNs latency = p.lastArrival - f.created;
+  r.latencies.push_back(latency);
+  ++r.messagesDelivered;
+  if (r.deadline > 0 && latency > r.deadline) ++r.deadlineMisses;
+  pending_.erase({f.specId, f.instanceId});
+}
+
+}  // namespace etsn::sim

@@ -1,0 +1,99 @@
+// Clause storage for the CDCL core.
+//
+// Clauses live in a single contiguous arena and are referred to by offset
+// (CRef).  Layout per clause: one header word (size << 2 | deleted << 1 |
+// learnt), one activity word for learnt clauses, then the literals.
+// Deleted clauses are only unlinked from the watch lists and marked; the
+// arena is not compacted (instances in this project are bounded, and the
+// waste is reclaimed when the solver is destroyed).
+#pragma once
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "smt/literal.h"
+
+namespace etsn::smt {
+
+using CRef = std::uint32_t;
+inline constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+class Clause {
+ public:
+  std::uint32_t size() const { return header_ >> 2; }
+  bool learnt() const { return header_ & 1u; }
+  bool deleted() const { return header_ & 2u; }
+  void markDeleted() { header_ |= 2u; }
+
+  Lit& operator[](std::uint32_t i) { return lits()[i]; }
+  Lit operator[](std::uint32_t i) const { return lits()[i]; }
+
+  float activity() const {
+    ETSN_CHECK(learnt());
+    float a;
+    std::memcpy(&a, data() + 1, sizeof a);
+    return a;
+  }
+  void setActivity(float a) {
+    ETSN_CHECK(learnt());
+    std::memcpy(data() + 1, &a, sizeof a);
+  }
+
+  std::span<const Lit> literals() const { return {lits(), size()}; }
+
+  /// Words occupied in the arena (header + optional activity + lits).
+  static std::uint32_t words(std::uint32_t nlits, bool learnt) {
+    return 1 + (learnt ? 1 : 0) + nlits;
+  }
+
+ private:
+  friend class ClauseArena;
+  std::uint32_t* data() { return reinterpret_cast<std::uint32_t*>(this); }
+  const std::uint32_t* data() const {
+    return reinterpret_cast<const std::uint32_t*>(this);
+  }
+  Lit* lits() {
+    return reinterpret_cast<Lit*>(data() + 1 + (learnt() ? 1 : 0));
+  }
+  const Lit* lits() const {
+    return reinterpret_cast<const Lit*>(data() + 1 + (learnt() ? 1 : 0));
+  }
+
+  std::uint32_t header_ = 0;
+};
+
+class ClauseArena {
+ public:
+  CRef alloc(std::span<const Lit> lits, bool learnt) {
+    ETSN_CHECK(lits.size() >= 2);
+    const auto n = static_cast<std::uint32_t>(lits.size());
+    const CRef ref = static_cast<CRef>(mem_.size());
+    mem_.resize(mem_.size() + Clause::words(n, learnt));
+    std::uint32_t* p = &mem_[ref];
+    p[0] = (n << 2) | static_cast<std::uint32_t>(learnt);
+    std::uint32_t litStart = 1;
+    if (learnt) {
+      const float a = 0.0f;
+      std::memcpy(p + 1, &a, sizeof a);
+      litStart = 2;
+    }
+    std::memcpy(p + litStart, lits.data(), n * sizeof(Lit));
+    return ref;
+  }
+
+  Clause& operator[](CRef r) {
+    return *reinterpret_cast<Clause*>(&mem_[r]);
+  }
+  const Clause& operator[](CRef r) const {
+    return *reinterpret_cast<const Clause*>(&mem_[r]);
+  }
+
+  std::size_t wordsUsed() const { return mem_.size(); }
+
+ private:
+  std::vector<std::uint32_t> mem_;
+};
+
+}  // namespace etsn::smt

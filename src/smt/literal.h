@@ -1,0 +1,43 @@
+// Boolean variables and literals for the SAT core (MiniSat-style encoding).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace etsn::smt {
+
+/// Boolean variable index, 0-based.
+using BVar = std::int32_t;
+inline constexpr BVar kVarUndef = -1;
+
+/// A literal is a variable plus a sign, packed as 2*var + sign
+/// (sign == 1 means negated).
+struct Lit {
+  std::int32_t x = -2;
+
+  friend bool operator==(Lit a, Lit b) { return a.x == b.x; }
+  friend bool operator!=(Lit a, Lit b) { return a.x != b.x; }
+  friend bool operator<(Lit a, Lit b) { return a.x < b.x; }
+};
+
+inline constexpr Lit kLitUndef{-2};
+
+constexpr Lit mkLit(BVar v, bool sign = false) {
+  return Lit{(v << 1) | static_cast<std::int32_t>(sign)};
+}
+constexpr Lit operator~(Lit l) { return Lit{l.x ^ 1}; }
+constexpr bool sign(Lit l) { return l.x & 1; }
+constexpr BVar var(Lit l) { return l.x >> 1; }
+/// Dense index usable as an array subscript.
+constexpr std::size_t toIdx(Lit l) { return static_cast<std::size_t>(l.x); }
+
+/// Three-valued boolean for partial assignments.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+constexpr LBool lboolOf(bool b) { return b ? LBool::True : LBool::False; }
+constexpr LBool operator^(LBool v, bool s) {
+  if (v == LBool::Undef) return LBool::Undef;
+  return lboolOf((v == LBool::True) != s);
+}
+
+}  // namespace etsn::smt

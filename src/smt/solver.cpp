@@ -1,0 +1,101 @@
+#include "smt/solver.h"
+
+#include "common/check.h"
+
+namespace etsn::smt {
+
+Solver::Solver() {
+  sat_.setTheory(&idl_);
+  const BVar tv = sat_.newVar();
+  true_ = mkLit(tv);
+  // Pin the constant-true variable with a binary tautology-free trick: a
+  // unit clause.
+  std::vector<Lit> unit{true_};
+  sat_.addClause(unit);
+}
+
+IntVar Solver::intVar(std::string name) { return idl_.newIntVar(std::move(name)); }
+
+Lit Solver::boolVar() { return mkLit(sat_.newVar()); }
+
+Lit Solver::leq(IntVar x, IntVar y, std::int64_t c) {
+  if (x == y) return c >= 0 ? trueLit() : falseLit();
+  // Canonical form: smaller variable first.  (x - y <= c) with x > y is
+  // the negation of (y - x <= -c - 1).
+  bool negated = false;
+  if (x > y) {
+    std::swap(x, y);
+    c = -c - 1;
+    negated = true;
+  }
+  const auto key = std::make_tuple(x, y, c);
+  auto it = atomIndex_.find(key);
+  BVar b;
+  if (it != atomIndex_.end()) {
+    b = it->second;
+  } else {
+    b = sat_.newVar();
+    idl_.registerAtom(b, x, y, c);
+    atomIndex_.emplace(key, b);
+  }
+  return mkLit(b, negated);
+}
+
+void Solver::require(Lit l) { addClause({l}); }
+
+void Solver::addOr(Lit a, Lit b) { addClause({a, b}); }
+
+void Solver::addClause(std::span<const Lit> lits) {
+  hasModel_ = false;
+  ++numClauses_;
+  sat_.addClause(lits);
+}
+
+Result Solver::solve(std::span<const Lit> assumptions) {
+  hasModel_ = false;
+  const Result r = sat_.solve(assumptions);
+  if (r == Result::Sat) {
+    // Snapshot the models before releasing the trail.  Prefer the least
+    // solution (every variable at its minimal feasible value): for
+    // scheduling this is the ASAP/push-left schedule, which is what makes
+    // probabilistic-stream slots serve events promptly.
+    model_ = idl_.minimalValues();
+    if (model_.empty()) {
+      model_.resize(static_cast<std::size_t>(idl_.numIntVars()));
+      for (IntVar v = 0; v < idl_.numIntVars(); ++v) {
+        model_[static_cast<std::size_t>(v)] = idl_.value(v);
+      }
+    }
+    boolModel_.resize(static_cast<std::size_t>(2 * sat_.numVars()));
+    for (BVar v = 0; v < sat_.numVars(); ++v) {
+      boolModel_[toIdx(mkLit(v))] = sat_.modelValue(v);
+      boolModel_[toIdx(~mkLit(v))] = sat_.modelValue(v) ^ true;
+    }
+    hasModel_ = true;
+    sat_.backtrackToRoot();
+  }
+  return r;
+}
+
+std::int64_t Solver::value(IntVar v) const {
+  ETSN_CHECK_MSG(hasModel_, "no model available");
+  ETSN_CHECK(v >= 0 && v < idl_.numIntVars());
+  return model_[static_cast<std::size_t>(v)];
+}
+
+bool Solver::boolValue(Lit l) const {
+  ETSN_CHECK_MSG(hasModel_, "no model available");
+  return boolModel_[toIdx(l)] == LBool::True;
+}
+
+SolverStats Solver::stats() const {
+  SolverStats s;
+  s.sat = sat_.stats();
+  s.atoms = static_cast<std::int64_t>(atomIndex_.size());
+  s.intVars = idl_.numIntVars();
+  s.clauses = numClauses_;
+  s.idlRelaxations = idl_.relaxations();
+  return s;
+}
+
+}  // namespace etsn::smt

@@ -1,0 +1,92 @@
+// Public SMT interface: boolean structure over integer-difference atoms.
+//
+// This is the solver the E-TSN scheduler programs against (in the paper's
+// setup this role is played by z3).  It interns atoms `x - y <= c`
+// canonically so that an atom and its complement share one boolean
+// variable, runs the CDCL(T) engine, and snapshots integer models.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "smt/idl.h"
+#include "smt/sat.h"
+
+namespace etsn::smt {
+
+struct SolverStats {
+  SatStats sat;
+  std::int64_t atoms = 0;
+  std::int64_t intVars = 0;
+  std::int64_t clauses = 0;
+  std::int64_t idlRelaxations = 0;
+};
+
+class Solver {
+ public:
+  Solver();
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Fresh integer variable (difference-logic).
+  IntVar intVar(std::string name = {});
+
+  /// Fresh free boolean variable (no theory meaning).
+  Lit boolVar();
+
+  Lit trueLit() const { return true_; }
+  Lit falseLit() const { return ~true_; }
+
+  /// Atom `x - y <= c`.  Trivial atoms (x == y) fold to constants.
+  Lit leq(IntVar x, IntVar y, std::int64_t c);
+  /// Atom `x - y >= c`.
+  Lit geq(IntVar x, IntVar y, std::int64_t c) { return leq(y, x, -c); }
+  /// Unary bound `x <= c`.
+  Lit le(IntVar x, std::int64_t c) { return leq(x, kZero, c); }
+  /// Unary bound `x >= c`.
+  Lit ge(IntVar x, std::int64_t c) { return geq(x, kZero, c); }
+
+  /// Assert a literal unconditionally.
+  void require(Lit l);
+  /// Assert `a or b` (the workhorse for non-overlap disjunctions).
+  void addOr(Lit a, Lit b);
+  void addClause(std::span<const Lit> lits);
+  void addClause(std::initializer_list<Lit> lits) {
+    addClause(std::span<const Lit>(lits.begin(), lits.size()));
+  }
+
+  Result solve() { return solve({}); }
+  Result solve(std::span<const Lit> assumptions);
+
+  /// Integer model value (valid after Result::Sat).
+  std::int64_t value(IntVar v) const;
+  /// Boolean model value (valid after Result::Sat).
+  bool boolValue(Lit l) const;
+
+  /// Abort the search after this many conflicts, returning Unknown.
+  void setConflictBudget(std::int64_t budget) {
+    sat_.setConflictBudget(budget);
+  }
+
+  SolverStats stats() const;
+  int numIntVars() const { return idl_.numIntVars(); }
+
+  static constexpr IntVar kZero = 0;
+
+ private:
+  SatSolver sat_;
+  IdlTheory idl_;
+  std::map<std::tuple<IntVar, IntVar, std::int64_t>, BVar> atomIndex_;
+  std::vector<std::int64_t> model_;       // int values snapshot
+  std::vector<LBool> boolModel_;          // literal values snapshot
+  Lit true_{};
+  std::int64_t numClauses_ = 0;
+  bool hasModel_ = false;
+};
+
+}  // namespace etsn::smt

@@ -1,0 +1,31 @@
+// Interface between the CDCL SAT core and a background theory (DPLL(T)).
+#pragma once
+
+#include <vector>
+
+#include "smt/literal.h"
+
+namespace etsn::smt {
+
+/// A background theory notified of assignments to its atoms.
+///
+/// The SAT core asserts trail literals in order; the theory must detect
+/// inconsistency eagerly on each assertion and explain conflicts with the
+/// set of previously asserted atom literals that are jointly infeasible.
+class Theory {
+ public:
+  virtual ~Theory() = default;
+
+  /// True if this literal's variable is a theory atom (either phase).
+  virtual bool isTheoryVar(BVar v) const = 0;
+
+  /// Literal `l` (an atom or its negation) became true.  Returns false on
+  /// inconsistency and fills `explanation` with true literals (including
+  /// `l`) whose conjunction is theory-infeasible.
+  virtual bool assertLit(Lit l, std::vector<Lit>& explanation) = 0;
+
+  /// Undo the assertion of `l`; called in reverse assertion order.
+  virtual void undo(Lit l) = 0;
+};
+
+}  // namespace etsn::smt

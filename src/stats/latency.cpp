@@ -1,0 +1,70 @@
+#include "stats/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace etsn::stats {
+
+Summary summarize(const std::vector<TimeNs>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  s.count = static_cast<std::int64_t>(samples.size());
+  s.minNs = samples[0];
+  s.maxNs = samples[0];
+  double sum = 0;
+  for (const TimeNs v : samples) {
+    s.minNs = std::min(s.minNs, v);
+    s.maxNs = std::max(s.maxNs, v);
+    sum += static_cast<double>(v);
+  }
+  s.meanNs = sum / static_cast<double>(s.count);
+  double var = 0;
+  for (const TimeNs v : samples) {
+    const double d = static_cast<double>(v) - s.meanNs;
+    var += d * d;
+  }
+  s.stddevNs = std::sqrt(var / static_cast<double>(s.count));
+  return s;
+}
+
+TimeNs percentile(std::vector<TimeNs> samples, double p) {
+  ETSN_CHECK_MSG(!samples.empty(), "percentile of empty sample set");
+  ETSN_CHECK(p >= 0 && p <= 100);
+  std::sort(samples.begin(), samples.end());
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<TimeNs>(
+      static_cast<double>(samples[lo]) * (1 - frac) +
+      static_cast<double>(samples[hi]) * frac);
+}
+
+std::vector<CdfPoint> cdf(std::vector<TimeNs> samples, int points) {
+  std::vector<CdfPoint> out;
+  if (samples.empty() || points <= 0) return out;
+  std::sort(samples.begin(), samples.end());
+  for (int i = 1; i <= points; ++i) {
+    const double frac = static_cast<double>(i) / points;
+    const auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(samples.size() - 1));
+    out.push_back({samples[idx], frac});
+  }
+  return out;
+}
+
+std::string formatCdf(const std::vector<CdfPoint>& points) {
+  std::string out;
+  char buf[64];
+  for (const CdfPoint& p : points) {
+    std::snprintf(buf, sizeof buf, "%6.3f %12.1f\n", p.fraction,
+                  static_cast<double>(p.value) / 1000.0);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace etsn::stats

@@ -1,0 +1,42 @@
+// Latency statistics: the metrics of §VI-A3 (average latency, worst-case
+// latency, jitter = standard deviation) plus CDFs for Figs. 11-12.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace etsn::stats {
+
+struct Summary {
+  std::int64_t count = 0;
+  double meanNs = 0;
+  TimeNs minNs = 0;
+  TimeNs maxNs = 0;   // worst-case latency
+  double stddevNs = 0;  // jitter
+
+  double meanUs() const { return meanNs / 1000.0; }
+  double maxUs() const { return static_cast<double>(maxNs) / 1000.0; }
+  double jitterUs() const { return stddevNs / 1000.0; }
+};
+
+/// Summary over a sample set (empty input yields a zero summary).
+Summary summarize(const std::vector<TimeNs>& samples);
+
+/// Percentile (0..100) by linear interpolation on the sorted samples.
+TimeNs percentile(std::vector<TimeNs> samples, double p);
+
+struct CdfPoint {
+  TimeNs value;
+  double fraction;  // P(X <= value)
+};
+
+/// `points` evenly spaced CDF points (by probability) for plotting.
+std::vector<CdfPoint> cdf(std::vector<TimeNs> samples, int points = 50);
+
+/// Render a CDF as an ASCII table (one "fraction value_us" row per point).
+std::string formatCdf(const std::vector<CdfPoint>& points);
+
+}  // namespace etsn::stats

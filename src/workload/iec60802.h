@@ -1,0 +1,43 @@
+// IEC/IEEE 60802-style industrial workload generation (§VI-B, §VI-C).
+//
+// TCT streams get random unicast endpoints, periods drawn from a small
+// industrial set, and payloads sized so the aggregate TCT rate hits a
+// target fraction of the link bandwidth ("network load" in the paper's
+// figures).  Deterministic under a seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/stream.h"
+#include "net/topology.h"
+
+namespace etsn::workload {
+
+struct TctWorkload {
+  int numStreams = 10;
+  std::vector<TimeNs> periods = {milliseconds(4), milliseconds(8),
+                                 milliseconds(16)};
+  /// Aggregate TCT bandwidth as a fraction of one link's bandwidth.
+  double networkLoad = 0.5;
+  /// Streams that share their slots with ECT (the rest are non-shared).
+  /// -1 = all share (the paper's default outside §VI-C2).
+  int numSharing = -1;
+  std::uint64_t seed = 1;
+};
+
+/// Generate TCT stream specs on the topology's devices.
+std::vector<net::StreamSpec> generateTct(const net::Topology& topo,
+                                         const TctWorkload& w);
+
+/// Convenience constructor for an ECT stream spec.
+net::StreamSpec makeEct(const std::string& name, net::NodeId src,
+                        net::NodeId dst, TimeNs minInterevent,
+                        int payloadBytes, TimeNs maxLatency = 0);
+
+/// Payload bytes per period so a stream of `period` contributes
+/// `rateBps` on the wire (inverse of the Ethernet framing overhead).
+int payloadForRate(double rateBps, TimeNs period);
+
+}  // namespace etsn::workload

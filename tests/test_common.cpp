@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace etsn {
+namespace {
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(microseconds(1), 1000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(nanoseconds(42), 42);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(toUs(microseconds(423)), 423.0);
+  EXPECT_DOUBLE_EQ(toMs(milliseconds(16)), 16.0);
+}
+
+TEST(Time, CeilDiv) {
+  EXPECT_EQ(ceilDiv(0, 4), 0);
+  EXPECT_EQ(ceilDiv(1, 4), 1);
+  EXPECT_EQ(ceilDiv(4, 4), 1);
+  EXPECT_EQ(ceilDiv(5, 4), 2);
+}
+
+TEST(Time, Format) {
+  EXPECT_EQ(formatTime(nanoseconds(5)), "5ns");
+  EXPECT_EQ(formatTime(microseconds(423)), "423.000us");
+  EXPECT_EQ(formatTime(milliseconds(16)), "16.000ms");
+  EXPECT_EQ(formatTime(-microseconds(2)), "-2.000us");
+}
+
+TEST(Check, ThrowsOnViolation) {
+  EXPECT_THROW(ETSN_CHECK(1 == 2), InvariantError);
+  EXPECT_NO_THROW(ETSN_CHECK(1 == 1));
+  EXPECT_THROW(ETSN_CHECK_MSG(false, "ctx " << 42), InvariantError);
+}
+
+TEST(Math, Lcm) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcmAll({4, 8, 16}), 16);
+  EXPECT_EQ(lcmAll({5, 10, 20}), 20);
+  EXPECT_EQ(lcmAll({3, 5, 7}), 105);
+}
+
+TEST(Math, Gcd) {
+  EXPECT_EQ(gcdAll({4, 8, 16}), 4);
+  EXPECT_EQ(gcdAll({1000, 1500}), 500);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniformInt(0, 1000), b.uniformInt(0, 1000));
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(1);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    sawLo |= (v == 0);
+    sawHi |= (v == 3);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, PickCoversAll) {
+  Rng r(2);
+  const std::vector<int> xs{10, 20, 30};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 300; ++i) {
+    const int v = r.pick(xs);
+    counts[static_cast<std::size_t>(v / 10 - 1)]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 0);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(3);
+  Rng child = a.fork();
+  // The child continues deterministically regardless of the parent.
+  Rng a2(3);
+  Rng child2 = a2.fork();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(child.uniformInt(0, 1 << 30), child2.uniformInt(0, 1 << 30));
+  }
+}
+
+}  // namespace
+}  // namespace etsn

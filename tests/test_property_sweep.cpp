@@ -1,0 +1,111 @@
+// Parameterized property sweeps: for randomized workloads across seeds,
+// loads, methods, and engines, every produced schedule must pass the
+// independent validator, and every simulated run must deliver all TCT
+// messages within their deadlines (the core soundness claim).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "etsn/etsn.h"
+#include "sched/validate.h"
+
+namespace etsn {
+namespace {
+
+using Param = std::tuple<std::uint64_t /*seed*/, double /*load*/,
+                         sched::Method, bool /*heuristic*/>;
+
+class ScheduleSweep : public ::testing::TestWithParam<Param> {};
+
+Experiment makeExperiment(std::uint64_t seed, double load,
+                          sched::Method method, bool heuristic) {
+  Experiment ex;
+  ex.topo = net::makeTestbedTopology();
+  workload::TctWorkload w;
+  w.numStreams = 6;  // small instances keep the sweep fast
+  w.networkLoad = load;
+  w.seed = seed;
+  ex.specs = workload::generateTct(ex.topo, w);
+  ex.specs.push_back(workload::makeEct("ect", 1, 3, milliseconds(16), 1500));
+  ex.options.method = method;
+  ex.options.useHeuristic = heuristic;
+  ex.options.config.numProbabilistic = 4;
+  ex.simConfig.duration = seconds(2);
+  ex.simConfig.seed = seed;
+  ex.validateSchedule = false;  // validated explicitly below
+  return ex;
+}
+
+TEST_P(ScheduleSweep, ScheduleValidatesAndTctHolds) {
+  const auto [seed, load, method, heuristic] = GetParam();
+  const Experiment ex = makeExperiment(seed, load, method, heuristic);
+
+  const sched::MethodSchedule ms =
+      sched::buildSchedule(ex.topo, ex.specs, ex.options);
+  if (!ms.schedule.info.feasible) {
+    // Infeasibility is acceptable for the incomplete heuristic engine;
+    // the complete SMT engine must schedule these moderate loads.
+    EXPECT_TRUE(heuristic) << "SMT engine failed a moderate instance";
+    return;
+  }
+  const auto violations = sched::validate(ex.topo, ms.schedule);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.constraint << ": " << v.detail;
+  }
+
+  const ExperimentResult r = runExperiment(ex);
+  ASSERT_TRUE(r.feasible);
+  for (const StreamResult& s : r.streams) {
+    if (s.type == net::TrafficClass::TimeTriggered) {
+      EXPECT_GT(s.delivered, 0) << s.name;
+      // The SMT engine's schedules must hold at runtime; the heuristic
+      // documents possible same-queue interaction (see heuristic.h).
+      if (!heuristic) {
+        EXPECT_EQ(s.deadlineMisses, 0) << s.name << " under "
+                                       << sched::methodName(method);
+      }
+    } else {
+      EXPECT_GT(s.delivered, 0) << s.name;
+    }
+  }
+}
+
+std::string sweepName(const ::testing::TestParamInfo<Param>& info) {
+  const auto [seed, load, method, heuristic] = info.param;
+  std::string name = "seed" + std::to_string(seed);
+  name += "_load" + std::to_string(static_cast<int>(load * 100));
+  name += method == sched::Method::ETSN
+              ? "_ETSN"
+              : (method == sched::Method::PERIOD ? "_PERIOD" : "_AVB");
+  name += heuristic ? "_heur" : "_smt";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsLoadsMethods, ScheduleSweep,
+    ::testing::Combine(::testing::Values(1u, 17u, 23u),
+                       ::testing::Values(0.25, 0.6),
+                       ::testing::Values(sched::Method::ETSN,
+                                         sched::Method::PERIOD,
+                                         sched::Method::AVB),
+                       ::testing::Values(false, true)),
+    sweepName);
+
+// Sweep the probabilistic stream count: guarantees must hold for any N.
+class NprobSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NprobSweep, EctDeliveredWithinDeadline) {
+  const int n = GetParam();
+  Experiment ex = makeExperiment(9, 0.5, sched::Method::ETSN, false);
+  ex.options.config.numProbabilistic = n;
+  const ExperimentResult r = runExperiment(ex);
+  ASSERT_TRUE(r.feasible) << "N=" << n;
+  const StreamResult& e = r.byName("ect");
+  EXPECT_GT(e.delivered, 50);
+  EXPECT_EQ(e.deadlineMisses, 0) << "N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Ns, NprobSweep, ::testing::Values(2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace etsn

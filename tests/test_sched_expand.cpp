@@ -1,0 +1,192 @@
+// Unit tests for stream expansion: probabilistic-stream derivation
+// (§III-B), priority assignment (constraint (6)), and prudent reservation
+// (Alg. 1).
+#include <gtest/gtest.h>
+
+#include "net/ethernet.h"
+#include "sched/expand.h"
+
+namespace etsn::sched {
+namespace {
+
+net::StreamSpec tct(const net::Topology& t, const std::string& name,
+                    net::NodeId src, net::NodeId dst, TimeNs period,
+                    int payload, bool share) {
+  net::StreamSpec s;
+  s.name = name;
+  s.src = src;
+  s.dst = dst;
+  s.period = period;
+  s.maxLatency = period;
+  s.payloadBytes = payload;
+  s.share = share;
+  (void)t;
+  return s;
+}
+
+net::StreamSpec ect(const std::string& name, net::NodeId src, net::NodeId dst,
+                    TimeNs minInterevent, int payload) {
+  net::StreamSpec s;
+  s.name = name;
+  s.src = src;
+  s.dst = dst;
+  s.period = minInterevent;
+  s.maxLatency = minInterevent;
+  s.payloadBytes = payload;
+  s.type = net::TrafficClass::EventTriggered;
+  return s;
+}
+
+TEST(Expand, TctBecomesOneDetStream) {
+  net::Topology t = net::makeTestbedTopology();
+  SchedulerConfig cfg;
+  const auto exp = expandStreams(t, {tct(t, "s1", 0, 2, milliseconds(4),
+                                         100, false)},
+                                 cfg);
+  ASSERT_EQ(exp.streams.size(), 1u);
+  const ExpandedStream& s = exp.streams[0];
+  EXPECT_EQ(s.kind, StreamKind::Det);
+  EXPECT_EQ(s.period, milliseconds(4));
+  EXPECT_EQ(s.baseFrames(), 1);
+  EXPECT_EQ(s.path.size(), 3u);  // D1-SW1-SW2-D3
+  EXPECT_EQ(s.framesOnLink, (std::vector<int>{1, 1, 1}));
+  EXPECT_EQ(exp.specToStreams[0], (std::vector<StreamId>{0}));
+}
+
+TEST(Expand, EctBecomesNProbStreams) {
+  net::Topology t = net::makeTestbedTopology();
+  SchedulerConfig cfg;
+  cfg.numProbabilistic = 5;
+  const auto exp =
+      expandStreams(t, {ect("e1", 1, 3, milliseconds(16), 1500)}, cfg);
+  ASSERT_EQ(exp.streams.size(), 5u);
+  for (int k = 0; k < 5; ++k) {
+    const ExpandedStream& s = exp.streams[static_cast<std::size_t>(k)];
+    EXPECT_EQ(s.kind, StreamKind::Prob);
+    EXPECT_EQ(s.priority, cfg.ectPriority);
+    EXPECT_EQ(s.period, milliseconds(16));
+    // ot_k = (k) * T/N, deadline tightened by T/N (§III-B).
+    EXPECT_EQ(s.occurrence, k * milliseconds(16) / 5);
+    EXPECT_EQ(s.maxLatency, milliseconds(16) - milliseconds(16) / 5);
+    EXPECT_EQ(s.specId, 0);
+  }
+}
+
+TEST(Expand, PriorityGroupsRoundRobin) {
+  net::Topology t = net::makeTestbedTopology();
+  SchedulerConfig cfg;  // non-shared 1..3, shared 4..6
+  std::vector<net::StreamSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    specs.push_back(tct(t, "ns" + std::to_string(i), 0, 2, milliseconds(4),
+                        100, false));
+    specs.push_back(tct(t, "sh" + std::to_string(i), 0, 2, milliseconds(4),
+                        100, true));
+  }
+  const auto exp = expandStreams(t, specs, cfg);
+  for (const ExpandedStream& s : exp.streams) {
+    if (s.share) {
+      EXPECT_GE(s.priority, cfg.sharedPrioLow);
+      EXPECT_LE(s.priority, cfg.sharedPrioHigh);
+    } else {
+      EXPECT_GE(s.priority, cfg.nonSharedPrioLow);
+      EXPECT_LE(s.priority, cfg.nonSharedPrioHigh);
+    }
+  }
+  // Round-robin wraps: 4 streams over 3 priorities reuses the first.
+  EXPECT_EQ(exp.streams[0].priority, exp.streams[6].priority);
+}
+
+TEST(Expand, ExplicitPriorityValidated) {
+  net::Topology t = net::makeTestbedTopology();
+  SchedulerConfig cfg;
+  auto s = tct(t, "s", 0, 2, milliseconds(4), 100, false);
+  s.priority = 5;  // shared group, but stream is non-shared
+  EXPECT_THROW(expandStreams(t, {s}, cfg), ConfigError);
+  s.priority = 2;
+  EXPECT_NO_THROW(expandStreams(t, {s}, cfg));
+}
+
+TEST(Expand, EctDeadlineTooTightThrows) {
+  net::Topology t = net::makeTestbedTopology();
+  SchedulerConfig cfg;
+  cfg.numProbabilistic = 2;
+  auto e = ect("e", 1, 3, milliseconds(16), 100);
+  e.maxLatency = milliseconds(8);  // e2e - T/N = 0 → impossible
+  EXPECT_THROW(expandStreams(t, {e}, cfg), ConfigError);
+  cfg.numProbabilistic = 4;  // e2e - T/4 = 4ms > 0 → fine
+  EXPECT_NO_THROW(expandStreams(t, {e}, cfg));
+}
+
+TEST(Expand, PrudentReservationOnlyOnSharedOverlappingLinks) {
+  net::Topology t = net::makeTestbedTopology();
+  SchedulerConfig cfg;
+  cfg.numProbabilistic = 4;
+  // Shared TCT D1->D3 crosses SW1-SW2 and SW2-D3; ECT D2->D3 crosses
+  // D2-SW1, SW1-SW2, SW2-D3.  Overlap on hops 1 and 2 of the TCT stream.
+  std::vector<net::StreamSpec> specs{
+      tct(t, "shared", 0, 2, milliseconds(8), 1000, true),
+      tct(t, "nonshared", 0, 2, milliseconds(8), 1000, false),
+      ect("e1", 1, 2, milliseconds(16), 1500),
+  };
+  const auto exp = expandStreams(t, specs, cfg);
+  const ExpandedStream& shared = exp.streams[0];
+  EXPECT_EQ(shared.framesOnLink[0], 1);  // D1-SW1: ECT absent → no extras
+  EXPECT_EQ(shared.framesOnLink[1], 2);  // SW1-SW2: +1 (1-frame ECT)
+  EXPECT_EQ(shared.framesOnLink[2], 2);  // SW2-D3: +1
+  const ExpandedStream& nonshared = exp.streams[1];
+  EXPECT_EQ(nonshared.framesOnLink, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(Expand, PrudentExtraFramesFormula) {
+  // n = ect_frames * ceil(tct_frames * frame_time / min_interevent).
+  EXPECT_EQ(prudentExtraFrames(3, microseconds(123), 1, milliseconds(16)), 1);
+  EXPECT_EQ(prudentExtraFrames(3, microseconds(123), 2, milliseconds(16)), 2);
+  // A very chatty TCT burst vs a very frequent ECT: multiple events can
+  // land within one burst.
+  EXPECT_EQ(prudentExtraFrames(10, microseconds(123), 1, microseconds(500)),
+            3);  // ceil(1230/500) = 3
+}
+
+TEST(Expand, MultiMtuEctFragmentsAndReserves) {
+  net::Topology t = net::makeTestbedTopology();
+  SchedulerConfig cfg;
+  cfg.numProbabilistic = 3;
+  std::vector<net::StreamSpec> specs{
+      tct(t, "shared", 0, 2, milliseconds(8), 1000, true),
+      ect("e5mtu", 1, 2, milliseconds(16), 5 * 1500),
+  };
+  const auto exp = expandStreams(t, specs, cfg);
+  // Each probabilistic stream carries 5 frames.
+  EXPECT_EQ(exp.streams[1].baseFrames(), 5);
+  // Shared stream reserves 5 extra frames on overlapping links.
+  EXPECT_EQ(exp.streams[0].framesOnLink[1], 1 + 5);
+}
+
+TEST(Expand, FrameTxTimeUniformForSharedAndProb) {
+  net::Topology t = net::makeTestbedTopology();
+  const net::Link& link = t.link(0);
+  ExpandedStream s;
+  s.kind = StreamKind::Det;
+  s.share = true;
+  s.framePayloads = {1500, 200};
+  // Shared streams use max-size slots so displaced frames always fit.
+  EXPECT_EQ(frameTxTimeOf(s, 0, link), frameTxTimeOf(s, 1, link));
+  EXPECT_EQ(frameTxTimeOf(s, 0, link),
+            net::frameTxTime(1500, link.bandwidthBps));
+  s.share = false;
+  EXPECT_EQ(frameTxTimeOf(s, 1, link),
+            net::frameTxTime(200, link.bandwidthBps));
+}
+
+TEST(Expand, BadPriorityConfigRejected) {
+  net::Topology t = net::makeTestbedTopology();
+  SchedulerConfig cfg;
+  cfg.sharedPrioLow = 6;
+  cfg.sharedPrioHigh = 5;  // inverted
+  EXPECT_THROW(
+      expandStreams(t, {tct(t, "s", 0, 2, milliseconds(4), 100, false)}, cfg),
+      InvariantError);
+}
+
+}  // namespace
+}  // namespace etsn::sched

@@ -1,0 +1,144 @@
+// Tests for online (incremental) TCT admission.
+#include <gtest/gtest.h>
+
+#include "sched/incremental.h"
+#include "sched/validate.h"
+#include "workload/iec60802.h"
+
+namespace etsn::sched {
+namespace {
+
+net::StreamSpec tct(const std::string& name, net::NodeId src, net::NodeId dst,
+                    TimeNs period, int payload, bool share = false) {
+  net::StreamSpec s;
+  s.name = name;
+  s.src = src;
+  s.dst = dst;
+  s.period = period;
+  s.maxLatency = period;
+  s.payloadBytes = payload;
+  s.share = share;
+  return s;
+}
+
+SchedulerConfig config() {
+  SchedulerConfig c;
+  c.numProbabilistic = 4;
+  return c;
+}
+
+TEST(Incremental, BaseScheduleSolves) {
+  net::Topology t = net::makeTestbedTopology();
+  IncrementalScheduler inc(
+      t,
+      {tct("t1", 0, 2, milliseconds(4), 1000, true),
+       workload::makeEct("e1", 1, 3, milliseconds(16), 1500)},
+      config());
+  ASSERT_TRUE(inc.feasible());
+  EXPECT_TRUE(validate(t, inc.schedule()).empty());
+}
+
+TEST(Incremental, AdmitExtendsSchedule) {
+  net::Topology t = net::makeTestbedTopology();
+  IncrementalScheduler inc(t, {tct("t1", 0, 2, milliseconds(4), 1000)},
+                           config());
+  ASSERT_TRUE(inc.feasible());
+  EXPECT_TRUE(inc.admit(tct("t2", 1, 3, milliseconds(8), 2000)));
+  EXPECT_EQ(inc.admissions(), 1);
+  const Schedule s = inc.schedule();
+  EXPECT_EQ(s.specs.size(), 2u);
+  EXPECT_EQ(s.streams.size(), 2u);
+  const auto violations = validate(t, s);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.constraint << ": " << v.detail;
+  }
+}
+
+TEST(Incremental, FreezeKeepsExistingSlots) {
+  net::Topology t = net::makeTestbedTopology();
+  IncrementalScheduler inc(t, {tct("t1", 0, 2, milliseconds(4), 1000)},
+                           config());
+  ASSERT_TRUE(inc.feasible());
+  const auto before = inc.schedule().slotsOf(0, 0);
+  ASSERT_TRUE(inc.admit(tct("t2", 0, 2, milliseconds(4), 1000),
+                        /*freezeExisting=*/true));
+  const auto after = inc.schedule().slotsOf(0, 0);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].start, after[i].start) << "slot " << i << " moved";
+  }
+}
+
+TEST(Incremental, RejectionLeavesScheduleIntact) {
+  net::Topology t = net::makeTestbedTopology();
+  // A 3-frame stream over 3 hops needs ~750 us end to end: 900 us fits.
+  IncrementalScheduler inc(
+      t, {tct("t1", 0, 2, microseconds(900), 3 * 1500)}, config());
+  ASSERT_TRUE(inc.feasible());
+  const auto before = inc.schedule();
+  // A 700 us deadline cannot cover the 3-hop pipeline: must be rejected.
+  EXPECT_FALSE(inc.admit(tct("t2", 1, 2, microseconds(700), 3 * 1500)));
+  EXPECT_EQ(inc.rejections(), 1);
+  const auto after = inc.schedule();
+  EXPECT_EQ(after.specs.size(), before.specs.size());
+  EXPECT_TRUE(validate(t, after).empty());
+  // Still able to admit something small afterwards (harmonic period:
+  // non-harmonic periods shrink the gcd below a frame time and make
+  // periodic non-overlap impossible).
+  EXPECT_TRUE(inc.admit(tct("t3", 1, 2, microseconds(1800), 500)));
+  EXPECT_TRUE(validate(t, inc.schedule()).empty());
+}
+
+TEST(Incremental, SeveralAdmissionsStayValid) {
+  net::Topology t = net::makeSimulationTopology();
+  IncrementalScheduler inc(
+      t,
+      {tct("base", 0, 11, milliseconds(10), 2000, true),
+       workload::makeEct("e1", 0, 11, milliseconds(10), 1500)},
+      config());
+  ASSERT_TRUE(inc.feasible());
+  int admitted = 0;
+  for (int i = 0; i < 6; ++i) {
+    net::StreamSpec s = tct("online" + std::to_string(i),
+                            static_cast<net::NodeId>(i),
+                            static_cast<net::NodeId>(11 - i),
+                            milliseconds(10), 1000, i % 2 == 0);
+    admitted += inc.admit(s) ? 1 : 0;
+  }
+  EXPECT_GE(admitted, 4);  // moderate load: most must fit
+  const auto violations = validate(t, inc.schedule());
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.constraint << ": " << v.detail;
+  }
+}
+
+TEST(Incremental, SharedAdmissionGetsPrudentExtras) {
+  net::Topology t = net::makeTestbedTopology();
+  IncrementalScheduler inc(
+      t,
+      {tct("t1", 0, 2, milliseconds(8), 1000, true),
+       workload::makeEct("e1", 1, 2, milliseconds(16), 1500)},
+      config());
+  ASSERT_TRUE(inc.feasible());
+  // Admit a sharing stream whose path overlaps the ECT on SW1-SW2, SW2-D3.
+  ASSERT_TRUE(inc.admit(tct("t2", 0, 2, milliseconds(8), 1000, true)));
+  const Schedule s = inc.schedule();
+  const ExpandedStream& t2 = s.streams.back();
+  EXPECT_EQ(t2.framesOnLink[0], 1);
+  EXPECT_EQ(t2.framesOnLink[1], 2);  // +1 prudent extra
+  EXPECT_EQ(t2.framesOnLink[2], 2);
+  EXPECT_TRUE(validate(t, s).empty());
+}
+
+TEST(Incremental, EctAdmissionRejected) {
+  net::Topology t = net::makeTestbedTopology();
+  IncrementalScheduler inc(t, {tct("t1", 0, 2, milliseconds(4), 1000)},
+                           config());
+  ASSERT_TRUE(inc.feasible());
+  EXPECT_THROW(
+      inc.admit(workload::makeEct("e1", 1, 3, milliseconds(16), 1500)),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace etsn::sched

@@ -1,0 +1,226 @@
+// Unit tests for the discrete-event kernel, the clock model, and the
+// credit-based shaper state machine.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cbs.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "sim/recorder.h"
+
+namespace etsn::sim {
+namespace {
+
+TEST(Kernel, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(microseconds(30), EventClass::Enqueue, [&] { order.push_back(3); });
+  sim.at(microseconds(10), EventClass::Enqueue, [&] { order.push_back(1); });
+  sim.at(microseconds(20), EventClass::Enqueue, [&] { order.push_back(2); });
+  sim.run(milliseconds(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.eventsProcessed(), 3);
+}
+
+TEST(Kernel, SameInstantOrderedByClassThenInsertion) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(microseconds(10), EventClass::Control, [&] { order.push_back(3); });
+  sim.at(microseconds(10), EventClass::PortService,
+         [&] { order.push_back(2); });
+  sim.at(microseconds(10), EventClass::Enqueue, [&] { order.push_back(0); });
+  sim.at(microseconds(10), EventClass::Enqueue, [&] { order.push_back(1); });
+  sim.run(milliseconds(1));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Kernel, RunStopsAtLimit) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(microseconds(10), EventClass::Enqueue, [&] { ++fired; });
+  sim.at(microseconds(100), EventClass::Enqueue, [&] { ++fired; });
+  sim.run(microseconds(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), microseconds(50));
+  sim.run(microseconds(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, HandlersCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    if (count < 5) sim.after(microseconds(10), EventClass::Control, tick);
+  };
+  sim.at(0, EventClass::Control, tick);
+  sim.run(milliseconds(1));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Kernel, PastSchedulingRejected) {
+  Simulator sim;
+  sim.at(microseconds(10), EventClass::Enqueue, [&] {});
+  sim.run(microseconds(20));
+  EXPECT_THROW(sim.at(microseconds(5), EventClass::Enqueue, [] {}),
+               InvariantError);
+}
+
+TEST(Clock, PerfectClockIsIdentity) {
+  Clock c;
+  EXPECT_EQ(c.localTime(milliseconds(5)), milliseconds(5));
+  EXPECT_EQ(c.globalTimeFor(milliseconds(5)), milliseconds(5));
+  EXPECT_EQ(c.offsetAt(seconds(1)), 0);
+}
+
+TEST(Clock, DriftAccumulates) {
+  Clock c(100.0);  // +100 ppb
+  // After 1 s, the clock is 100 ns fast.
+  EXPECT_NEAR(static_cast<double>(c.offsetAt(seconds(1))), 100.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(c.offsetAt(seconds(10))), 1000.0, 1.0);
+}
+
+TEST(Clock, SyncResetsOffset) {
+  Clock c(1000.0);  // 1 ppm
+  EXPECT_NEAR(static_cast<double>(c.offsetAt(seconds(1))), 1000.0, 1.0);
+  c.synchronize(seconds(1), nanoseconds(10));
+  EXPECT_NEAR(static_cast<double>(c.offsetAt(seconds(1))), 10.0, 1.0);
+  // Drift resumes from the sync point.
+  EXPECT_NEAR(static_cast<double>(c.offsetAt(seconds(2))), 1010.0, 1.0);
+}
+
+TEST(Clock, GlobalTimeForInvertsLocalTime) {
+  Clock c(-500.0);
+  c.synchronize(milliseconds(100), nanoseconds(-20));
+  for (const TimeNs t : {milliseconds(100), milliseconds(500), seconds(2)}) {
+    const TimeNs local = c.localTime(t);
+    EXPECT_NEAR(static_cast<double>(c.globalTimeFor(local)),
+                static_cast<double>(t), 2.0);
+  }
+}
+
+TEST(Cbs, CreditAccruesWhenWaiting) {
+  CbsState cbs(50'000'000, 100'000'000);  // idle 50 Mbps on a 100 Mbps port
+  cbs.setState(0, /*gateOpen=*/true, /*hasFrames=*/true, /*sending=*/false);
+  // After 1 ms of waiting: 50e6 * 1e-3 = 50'000 bits.
+  EXPECT_NEAR(cbs.creditBits(milliseconds(1)), 50'000.0, 1.0);
+}
+
+TEST(Cbs, CreditDrainsWhileSending) {
+  CbsState cbs(50'000'000, 100'000'000);
+  cbs.setState(0, true, true, /*sending=*/true);
+  // sendSlope = -50 Mbps.
+  EXPECT_NEAR(cbs.creditBits(milliseconds(1)), -50'000.0, 1.0);
+}
+
+TEST(Cbs, CreditFrozenWhenGateClosed) {
+  CbsState cbs(50'000'000, 100'000'000);
+  cbs.setState(0, true, true, true);
+  (void)cbs.creditBits(milliseconds(1));  // -50k bits
+  cbs.setState(milliseconds(1), /*gateOpen=*/false, true, false);
+  EXPECT_NEAR(cbs.creditBits(milliseconds(5)), -50'000.0, 1.0);
+}
+
+TEST(Cbs, PositiveCreditClampedOnEmpty) {
+  CbsState cbs(50'000'000, 100'000'000);
+  cbs.setState(0, true, true, false);
+  (void)cbs.creditBits(milliseconds(1));  // +50k
+  cbs.setState(milliseconds(1), true, /*hasFrames=*/false, false);
+  EXPECT_NEAR(cbs.creditBits(milliseconds(1)), 0.0, 1e-9);
+}
+
+TEST(Cbs, CreditZeroTimePredictsRecovery) {
+  CbsState cbs(50'000'000, 100'000'000);
+  cbs.setState(0, true, true, true);
+  (void)cbs.creditBits(milliseconds(1));  // -50k bits
+  cbs.setState(milliseconds(1), true, true, false);  // now accruing at 50Mbps
+  const TimeNs zero = cbs.creditZeroTime(milliseconds(1));
+  // Needs 50k bits / 50 Mbps = 1 ms.
+  EXPECT_NEAR(static_cast<double>(zero), static_cast<double>(milliseconds(2)),
+              1000.0);
+}
+
+TEST(Cbs, NotAccruingReturnsMinusOne) {
+  CbsState cbs(50'000'000, 100'000'000);
+  cbs.setState(0, true, true, true);
+  (void)cbs.creditBits(milliseconds(1));
+  cbs.setState(milliseconds(1), /*gateOpen=*/false, true, false);
+  EXPECT_EQ(cbs.creditZeroTime(milliseconds(1)), -1);
+}
+
+}  // namespace
+}  // namespace etsn::sim
+
+namespace etsn::sim {
+namespace {
+
+TEST(Recorder, ReassemblesFragmentsAcrossArrivalOrder) {
+  Recorder rec(2);
+  rec.setDeadline(0, milliseconds(1));
+  auto frag = [](int spec, std::int64_t inst, int idx, int count,
+                 TimeNs created) {
+    Frame f;
+    f.specId = spec;
+    f.instanceId = inst;
+    f.fragIndex = idx;
+    f.fragCount = count;
+    f.created = created;
+    return f;
+  };
+  rec.onMessageCreated(0);
+  // Fragments delivered out of order; latency = last arrival - created.
+  rec.onFrameDelivered(frag(0, 0, 1, 3, microseconds(10)), microseconds(400));
+  rec.onFrameDelivered(frag(0, 0, 0, 3, microseconds(10)), microseconds(200));
+  EXPECT_EQ(rec.record(0).messagesDelivered, 0);
+  EXPECT_EQ(rec.incompleteMessages(), 1);
+  rec.onFrameDelivered(frag(0, 0, 2, 3, microseconds(10)), microseconds(300));
+  ASSERT_EQ(rec.record(0).messagesDelivered, 1);
+  EXPECT_EQ(rec.record(0).latencies[0], microseconds(390));
+  EXPECT_EQ(rec.record(0).deadlineMisses, 0);
+  EXPECT_EQ(rec.incompleteMessages(), 0);
+}
+
+TEST(Recorder, CountsDeadlineMisses) {
+  Recorder rec(1);
+  rec.setDeadline(0, microseconds(100));
+  Frame f;
+  f.specId = 0;
+  f.instanceId = 7;
+  f.fragIndex = 0;
+  f.fragCount = 1;
+  f.created = 0;
+  rec.onMessageCreated(0);
+  rec.onFrameDelivered(f, microseconds(150));  // 150 > 100
+  EXPECT_EQ(rec.record(0).deadlineMisses, 1);
+  // Without a deadline, nothing is counted.
+  Recorder rec2(1);
+  rec2.onMessageCreated(0);
+  rec2.onFrameDelivered(f, microseconds(150));
+  EXPECT_EQ(rec2.record(0).deadlineMisses, 0);
+}
+
+TEST(Recorder, InterleavedInstancesSeparated) {
+  Recorder rec(1);
+  auto frag = [](std::int64_t inst, int idx) {
+    Frame f;
+    f.specId = 0;
+    f.instanceId = inst;
+    f.fragIndex = idx;
+    f.fragCount = 2;
+    f.created = 0;
+    return f;
+  };
+  rec.onMessageCreated(0);
+  rec.onMessageCreated(0);
+  rec.onFrameDelivered(frag(0, 0), microseconds(100));
+  rec.onFrameDelivered(frag(1, 0), microseconds(110));
+  rec.onFrameDelivered(frag(1, 1), microseconds(210));
+  rec.onFrameDelivered(frag(0, 1), microseconds(220));
+  ASSERT_EQ(rec.record(0).messagesDelivered, 2);
+  EXPECT_EQ(rec.record(0).latencies[0], microseconds(210));  // instance 1
+  EXPECT_EQ(rec.record(0).latencies[1], microseconds(220));  // instance 0
+}
+
+}  // namespace
+}  // namespace etsn::sim

@@ -1,0 +1,147 @@
+// Edge-case tests for the egress port and GCL interplay: gates that never
+// open, CBS under gating, wrap-around windows, and queue starvation.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/ethernet.h"
+#include "net/gcl.h"
+#include "net/topology.h"
+#include "sim/clock.h"
+#include "sim/kernel.h"
+#include "sim/port.h"
+
+namespace etsn::sim {
+namespace {
+
+struct Sent {
+  Frame frame;
+  TimeNs txEnd;
+};
+
+class PortEdge : public ::testing::Test {
+ protected:
+  PortEdge() {
+    topo_.addDevice("A");
+    topo_.addDevice("B");
+    topo_.connect(0, 1);
+  }
+  EgressPort makePort(const net::Gcl* gcl) {
+    return EgressPort(sim_, topo_.link(0), gcl, &clock_,
+                      [this](const Frame& f, TimeNs t) {
+                        sent_.push_back({f, t});
+                      });
+  }
+  static Frame frame(int priority, int payload = 1500, int spec = 0) {
+    Frame f;
+    f.specId = spec;
+    f.priority = priority;
+    f.payloadBytes = payload;
+    return f;
+  }
+  net::Topology topo_;
+  Simulator sim_;
+  Clock clock_;
+  std::vector<Sent> sent_;
+};
+
+TEST_F(PortEdge, GateNeverOpensFrameNeverSent) {
+  net::GclBuilder b(milliseconds(1));
+  b.open(2, microseconds(100), microseconds(300));
+  const net::Gcl gcl = b.build();  // queue 5 never opens
+  auto port = makePort(&gcl);
+  sim_.at(microseconds(10), EventClass::Enqueue,
+          [&] { port.enqueue(frame(5)); });
+  sim_.run(milliseconds(20));
+  EXPECT_TRUE(sent_.empty());
+  EXPECT_EQ(port.stats().framesSent, 0);
+}
+
+TEST_F(PortEdge, FrameTooBigForEveryWindowStarves) {
+  net::GclBuilder b(milliseconds(1));
+  b.open(3, 0, microseconds(50));  // 50us << 123us MTU wire time
+  const net::Gcl gcl = b.build();
+  auto port = makePort(&gcl);
+  sim_.at(0, EventClass::Enqueue, [&] { port.enqueue(frame(3, 1500)); });
+  sim_.run(milliseconds(10));
+  EXPECT_TRUE(sent_.empty());
+}
+
+TEST_F(PortEdge, SmallFrameBehindBigFrameBlocked) {
+  // FIFO head-of-line semantics: the small frame cannot pass the big one.
+  net::GclBuilder b(milliseconds(1));
+  b.open(3, 0, microseconds(50));
+  const net::Gcl gcl = b.build();
+  auto port = makePort(&gcl);
+  sim_.at(0, EventClass::Enqueue, [&] {
+    port.enqueue(frame(3, 1500, 0));  // never fits
+    port.enqueue(frame(3, 46, 1));    // would fit, but is behind
+  });
+  sim_.run(milliseconds(5));
+  EXPECT_TRUE(sent_.empty());
+}
+
+TEST_F(PortEdge, WrapWindowTransmits) {
+  net::GclBuilder b(milliseconds(1));
+  b.open(4, microseconds(950), microseconds(1100));  // wraps the cycle
+  const net::Gcl gcl = b.build();
+  auto port = makePort(&gcl);
+  sim_.at(microseconds(10), EventClass::Enqueue,
+          [&] { port.enqueue(frame(4, 1500)); });
+  sim_.run(milliseconds(3));
+  ASSERT_EQ(sent_.size(), 1u);
+  // 150us window fits an MTU; transmission starts at the window.
+  EXPECT_EQ(sent_[0].txEnd,
+            microseconds(950) + net::frameTxTime(1500, 100'000'000));
+}
+
+TEST_F(PortEdge, CbsWithGatingOnlyAccruesWhileOpen) {
+  net::GclBuilder b(milliseconds(10));
+  b.open(6, 0, milliseconds(1));  // open 10% of the time
+  const net::Gcl gcl = b.build();
+  auto port = makePort(&gcl);
+  port.configureCbs(6, 0.5);
+  // Fill with several frames; only what fits in open windows with credit
+  // goes out.
+  sim_.at(0, EventClass::Enqueue, [&] {
+    for (int i = 0; i < 8; ++i) port.enqueue(frame(6, 1500, i));
+  });
+  sim_.run(milliseconds(30));
+  // 1 ms window fits 8 MTU times, but the 50% idle slope halves the
+  // sustainable rate: roughly 4 frames per window.
+  EXPECT_GE(sent_.size(), 6u);
+  EXPECT_LE(sent_.size(), 8u);
+  // FIFO preserved.
+  for (std::size_t i = 0; i < sent_.size(); ++i) {
+    EXPECT_EQ(sent_[i].frame.specId, static_cast<int>(i));
+  }
+}
+
+TEST_F(PortEdge, EightQueuesStrictOrder) {
+  auto port = makePort(nullptr);
+  sim_.at(0, EventClass::Enqueue, [&] {
+    for (int q = 0; q < 8; ++q) port.enqueue(frame(q, 100, q));
+  });
+  sim_.run(milliseconds(5));
+  ASSERT_EQ(sent_.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(sent_[static_cast<std::size_t>(i)].frame.priority, 7 - i);
+  }
+}
+
+TEST_F(PortEdge, InvalidPriorityRejected) {
+  auto port = makePort(nullptr);
+  Frame f = frame(8);
+  EXPECT_THROW(port.enqueue(std::move(f)), InvariantError);
+}
+
+TEST_F(PortEdge, CbsConfigValidation) {
+  auto port = makePort(nullptr);
+  EXPECT_THROW(port.configureCbs(9, 0.5), InvariantError);
+  EXPECT_THROW(port.configureCbs(5, 0.0), InvariantError);
+  EXPECT_THROW(port.configureCbs(5, 1.5), InvariantError);
+  EXPECT_NO_THROW(port.configureCbs(5, 1.0));
+}
+
+}  // namespace
+}  // namespace etsn::sim

@@ -1,0 +1,261 @@
+// Unit tests for the CDCL SAT core (pure boolean, no theory).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "smt/sat.h"
+
+namespace etsn::smt {
+namespace {
+
+Lit pos(BVar v) { return mkLit(v); }
+Lit neg(BVar v) { return ~mkLit(v); }
+
+TEST(Literal, Encoding) {
+  const Lit a = mkLit(3);
+  EXPECT_EQ(var(a), 3);
+  EXPECT_FALSE(sign(a));
+  EXPECT_TRUE(sign(~a));
+  EXPECT_EQ(var(~a), 3);
+  EXPECT_EQ(~~a, a);
+  EXPECT_NE(a, ~a);
+}
+
+TEST(LBoolOps, XorWithSign) {
+  EXPECT_EQ(LBool::True ^ false, LBool::True);
+  EXPECT_EQ(LBool::True ^ true, LBool::False);
+  EXPECT_EQ(LBool::Undef ^ true, LBool::Undef);
+}
+
+TEST(SatSolver, EmptyProblemIsSat) {
+  SatSolver s;
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(SatSolver, SingleUnit) {
+  SatSolver s;
+  const BVar v = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v)}));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.modelValue(v), LBool::True);
+}
+
+TEST(SatSolver, ContradictoryUnitsAreUnsat) {
+  SatSolver s;
+  const BVar v = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(v)}));
+  EXPECT_FALSE(s.addClause({neg(v)}));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(SatSolver, SimpleImplicationChain) {
+  SatSolver s;
+  const BVar a = s.newVar(), b = s.newVar(), c = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a)}));
+  ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
+  ASSERT_TRUE(s.addClause({neg(b), pos(c)}));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.modelValue(a), LBool::True);
+  EXPECT_EQ(s.modelValue(b), LBool::True);
+  EXPECT_EQ(s.modelValue(c), LBool::True);
+}
+
+TEST(SatSolver, TautologyIgnored) {
+  SatSolver s;
+  const BVar a = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), neg(a)}));
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(SatSolver, DuplicateLiteralsDeduped) {
+  SatSolver s;
+  const BVar a = s.newVar(), b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(a), pos(b), pos(b)}));
+  ASSERT_TRUE(s.addClause({neg(a)}));
+  ASSERT_TRUE(s.addClause({neg(b), pos(a)}));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(SatSolver, PigeonHole3Into2IsUnsat) {
+  // 3 pigeons, 2 holes: x[p][h] means pigeon p in hole h.
+  SatSolver s;
+  BVar x[3][2];
+  for (auto& row : x)
+    for (auto& v : row) v = s.newVar();
+  for (int p = 0; p < 3; ++p) s.addClause({pos(x[p][0]), pos(x[p][1])});
+  for (int h = 0; h < 2; ++h)
+    for (int p1 = 0; p1 < 3; ++p1)
+      for (int p2 = p1 + 1; p2 < 3; ++p2)
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(SatSolver, PigeonHole5Into4IsUnsat) {
+  SatSolver s;
+  constexpr int P = 5, H = 4;
+  std::vector<std::vector<BVar>> x(P, std::vector<BVar>(H));
+  for (auto& row : x)
+    for (auto& v : row) v = s.newVar();
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> cl;
+    for (int h = 0; h < H; ++h) cl.push_back(pos(x[p][h]));
+    s.addClause(cl);
+  }
+  for (int h = 0; h < H; ++h)
+    for (int p1 = 0; p1 < P; ++p1)
+      for (int p2 = p1 + 1; p2 < P; ++p2)
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().conflicts, 0);
+}
+
+TEST(SatSolver, ConflictBudgetReturnsUnknown) {
+  SatSolver s;
+  constexpr int P = 8, H = 7;  // hard pigeonhole
+  std::vector<std::vector<BVar>> x(P, std::vector<BVar>(H));
+  for (auto& row : x)
+    for (auto& v : row) v = s.newVar();
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> cl;
+    for (int h = 0; h < H; ++h) cl.push_back(pos(x[p][h]));
+    s.addClause(cl);
+  }
+  for (int h = 0; h < H; ++h)
+    for (int p1 = 0; p1 < P; ++p1)
+      for (int p2 = p1 + 1; p2 < P; ++p2)
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+  s.setConflictBudget(5);
+  EXPECT_EQ(s.solve(), Result::Unknown);
+}
+
+TEST(SatSolver, AssumptionsSatAndUnsat) {
+  SatSolver s;
+  const BVar a = s.newVar(), b = s.newVar();
+  ASSERT_TRUE(s.addClause({neg(a), pos(b)}));
+  std::vector<Lit> assume{pos(a)};
+  EXPECT_EQ(s.solve(assume), Result::Sat);
+  EXPECT_EQ(s.modelValue(b), LBool::True);
+
+  ASSERT_TRUE(s.addClause({neg(b)}));
+  EXPECT_EQ(s.solve(assume), Result::Unsat);
+  // Without the assumption it stays satisfiable (a = false).
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.modelValue(a), LBool::False);
+}
+
+TEST(SatSolver, ReusableAfterSolve) {
+  SatSolver s;
+  const BVar a = s.newVar(), b = s.newVar();
+  ASSERT_TRUE(s.addClause({pos(a), pos(b)}));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  ASSERT_TRUE(s.addClause({neg(a)}));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.modelValue(b), LBool::True);
+}
+
+// Model verification helper for randomized tests.
+bool modelSatisfies(const SatSolver& s,
+                    const std::vector<std::vector<Lit>>& clauses) {
+  for (const auto& cl : clauses) {
+    bool sat = false;
+    for (Lit l : cl) sat |= (s.modelValue(l) == LBool::True);
+    if (!sat) return false;
+  }
+  return true;
+}
+
+// Random 3-SAT at a satisfiable clause ratio: every SAT answer must verify.
+TEST(SatSolverProperty, Random3SatModelsVerify) {
+  std::mt19937 rng(12345);
+  for (int round = 0; round < 30; ++round) {
+    SatSolver s;
+    const int n = 30;
+    const int m = 100;  // ratio < 4.26 → usually SAT
+    std::vector<BVar> vars(n);
+    for (auto& v : vars) v = s.newVar();
+    std::vector<std::vector<Lit>> clauses;
+    for (int i = 0; i < m; ++i) {
+      std::vector<Lit> cl;
+      for (int k = 0; k < 3; ++k) {
+        const BVar v = vars[rng() % n];
+        cl.push_back(mkLit(v, rng() & 1));
+      }
+      clauses.push_back(cl);
+      s.addClause(cl);
+    }
+    const Result r = s.solve();
+    if (r == Result::Sat) {
+      EXPECT_TRUE(modelSatisfies(s, clauses)) << "round " << round;
+    }
+  }
+}
+
+// Cross-check against brute force on tiny instances.
+TEST(SatSolverProperty, MatchesBruteForceOnTinyInstances) {
+  std::mt19937 rng(777);
+  for (int round = 0; round < 200; ++round) {
+    const int n = 6;
+    const int m = static_cast<int>(4 + rng() % 24);
+    std::vector<std::vector<Lit>> clauses;
+    for (int i = 0; i < m; ++i) {
+      std::vector<Lit> cl;
+      const int len = 1 + static_cast<int>(rng() % 3);
+      for (int k = 0; k < len; ++k) {
+        cl.push_back(mkLit(static_cast<BVar>(rng() % n), rng() & 1));
+      }
+      clauses.push_back(cl);
+    }
+    // Brute force.
+    bool bruteSat = false;
+    for (int mask = 0; mask < (1 << n) && !bruteSat; ++mask) {
+      bool all = true;
+      for (const auto& cl : clauses) {
+        bool any = false;
+        for (Lit l : cl) {
+          const bool val = ((mask >> var(l)) & 1) != 0;
+          any |= (val != sign(l));
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      bruteSat = all;
+    }
+    // Solver.
+    SatSolver s;
+    for (int v = 0; v < n; ++v) s.newVar();
+    for (const auto& cl : clauses) s.addClause(cl);
+    const Result r = s.solve();
+    EXPECT_EQ(r == Result::Sat, bruteSat) << "round " << round;
+    if (r == Result::Sat) {
+      EXPECT_TRUE(modelSatisfies(s, clauses));
+    }
+  }
+}
+
+TEST(SatSolver, StatsArePopulated) {
+  SatSolver s;
+  constexpr int P = 5, H = 4;
+  std::vector<std::vector<BVar>> x(P, std::vector<BVar>(H));
+  for (auto& row : x)
+    for (auto& v : row) v = s.newVar();
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> cl;
+    for (int h = 0; h < H; ++h) cl.push_back(pos(x[p][h]));
+    s.addClause(cl);
+  }
+  for (int h = 0; h < H; ++h)
+    for (int p1 = 0; p1 < P; ++p1)
+      for (int p2 = p1 + 1; p2 < P; ++p2)
+        s.addClause({neg(x[p1][h]), neg(x[p2][h])});
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().decisions, 0);
+  EXPECT_GT(s.stats().propagations, 0);
+  EXPECT_GT(s.stats().conflicts, 0);
+}
+
+}  // namespace
+}  // namespace etsn::smt

@@ -1,0 +1,84 @@
+// Unit tests for the latency statistics module.
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "stats/latency.h"
+
+namespace etsn::stats {
+namespace {
+
+TEST(Summary, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.meanNs, 0);
+  EXPECT_EQ(s.minNs, 0);
+  EXPECT_EQ(s.maxNs, 0);
+}
+
+TEST(Summary, SingleSample) {
+  const Summary s = summarize({microseconds(423)});
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.meanNs, 423000.0);
+  EXPECT_EQ(s.minNs, microseconds(423));
+  EXPECT_EQ(s.maxNs, microseconds(423));
+  EXPECT_DOUBLE_EQ(s.stddevNs, 0.0);
+}
+
+TEST(Summary, KnownDistribution) {
+  const Summary s = summarize({1000, 2000, 3000, 4000, 5000});
+  EXPECT_EQ(s.count, 5);
+  EXPECT_DOUBLE_EQ(s.meanNs, 3000.0);
+  EXPECT_EQ(s.minNs, 1000);
+  EXPECT_EQ(s.maxNs, 5000);
+  // Population stddev of {1..5}k = sqrt(2)k.
+  EXPECT_NEAR(s.stddevNs, 1414.2, 0.1);
+  EXPECT_DOUBLE_EQ(s.meanUs(), 3.0);
+  EXPECT_DOUBLE_EQ(s.maxUs(), 5.0);
+}
+
+TEST(Summary, UnorderedInput) {
+  const Summary s = summarize({5000, 1000, 3000});
+  EXPECT_EQ(s.minNs, 1000);
+  EXPECT_EQ(s.maxNs, 5000);
+}
+
+TEST(Percentile, Endpoints) {
+  std::vector<TimeNs> v{10, 20, 30, 40};
+  EXPECT_EQ(percentile(v, 0), 10);
+  EXPECT_EQ(percentile(v, 100), 40);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<TimeNs> v{0, 100};
+  EXPECT_EQ(percentile(v, 50), 50);
+  EXPECT_EQ(percentile(v, 25), 25);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW(percentile(std::vector<TimeNs>{}, 50), InvariantError);
+}
+
+TEST(Cdf, MonotoneAndComplete) {
+  std::vector<TimeNs> v;
+  for (int i = 100; i >= 1; --i) v.push_back(i * 10);
+  const auto points = cdf(v, 20);
+  ASSERT_EQ(points.size(), 20u);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GE(points[i].value, points[i - 1].value);
+    EXPECT_GT(points[i].fraction, points[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+  EXPECT_EQ(points.back().value, 1000);
+}
+
+TEST(Cdf, EmptyInput) { EXPECT_TRUE(cdf({}, 10).empty()); }
+
+TEST(Cdf, FormatsRows) {
+  const auto points = cdf({1000, 2000}, 2);
+  const std::string out = formatCdf(points);
+  EXPECT_NE(out.find("0.500"), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace etsn::stats
