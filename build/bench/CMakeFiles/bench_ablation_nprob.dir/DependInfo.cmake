@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_nprob.cpp" "bench/CMakeFiles/bench_ablation_nprob.dir/bench_ablation_nprob.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_nprob.dir/bench_ablation_nprob.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/etsn/CMakeFiles/etsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/etsn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/etsn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/etsn_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/etsn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/etsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/etsn_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etsn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nprob.dir/bench_ablation_nprob.cpp.o"
+  "CMakeFiles/bench_ablation_nprob.dir/bench_ablation_nprob.cpp.o.d"
+  "bench_ablation_nprob"
+  "bench_ablation_nprob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nprob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_multi_ect.dir/bench_fig16_multi_ect.cpp.o"
+  "CMakeFiles/bench_fig16_multi_ect.dir/bench_fig16_multi_ect.cpp.o.d"
+  "bench_fig16_multi_ect"
+  "bench_fig16_multi_ect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_multi_ect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smt_scaling.dir/bench_smt_scaling.cpp.o"
+  "CMakeFiles/bench_smt_scaling.dir/bench_smt_scaling.cpp.o.d"
+  "bench_smt_scaling"
+  "bench_smt_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smt_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factory_cell.dir/factory_cell.cpp.o"
+  "CMakeFiles/factory_cell.dir/factory_cell.cpp.o.d"
+  "factory_cell"
+  "factory_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factory_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

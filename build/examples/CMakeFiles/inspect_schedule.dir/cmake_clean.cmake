@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_schedule.dir/inspect_schedule.cpp.o"
+  "CMakeFiles/inspect_schedule.dir/inspect_schedule.cpp.o.d"
+  "inspect_schedule"
+  "inspect_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

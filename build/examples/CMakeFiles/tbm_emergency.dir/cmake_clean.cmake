@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbm_emergency.dir/tbm_emergency.cpp.o"
+  "CMakeFiles/tbm_emergency.dir/tbm_emergency.cpp.o.d"
+  "tbm_emergency"
+  "tbm_emergency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbm_emergency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

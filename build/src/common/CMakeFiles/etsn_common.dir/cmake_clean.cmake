@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsn_common.dir/log.cpp.o"
+  "CMakeFiles/etsn_common.dir/log.cpp.o.d"
+  "CMakeFiles/etsn_common.dir/rng.cpp.o"
+  "CMakeFiles/etsn_common.dir/rng.cpp.o.d"
+  "CMakeFiles/etsn_common.dir/time.cpp.o"
+  "CMakeFiles/etsn_common.dir/time.cpp.o.d"
+  "libetsn_common.a"
+  "libetsn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

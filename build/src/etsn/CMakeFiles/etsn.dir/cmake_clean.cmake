@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsn.dir/etsn.cpp.o"
+  "CMakeFiles/etsn.dir/etsn.cpp.o.d"
+  "libetsn.a"
+  "libetsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

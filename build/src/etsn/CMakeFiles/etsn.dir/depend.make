@@ -1,0 +1,2 @@
+# Empty dependencies file for etsn.
+# This may be replaced when dependencies are built.

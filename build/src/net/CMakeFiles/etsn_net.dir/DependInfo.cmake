@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/etsn_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/etsn_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/gcl.cpp" "src/net/CMakeFiles/etsn_net.dir/gcl.cpp.o" "gcc" "src/net/CMakeFiles/etsn_net.dir/gcl.cpp.o.d"
+  "/root/repo/src/net/qcc.cpp" "src/net/CMakeFiles/etsn_net.dir/qcc.cpp.o" "gcc" "src/net/CMakeFiles/etsn_net.dir/qcc.cpp.o.d"
+  "/root/repo/src/net/stream.cpp" "src/net/CMakeFiles/etsn_net.dir/stream.cpp.o" "gcc" "src/net/CMakeFiles/etsn_net.dir/stream.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/etsn_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/etsn_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/etsn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

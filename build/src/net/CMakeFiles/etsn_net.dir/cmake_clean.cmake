@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsn_net.dir/ethernet.cpp.o"
+  "CMakeFiles/etsn_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/etsn_net.dir/gcl.cpp.o"
+  "CMakeFiles/etsn_net.dir/gcl.cpp.o.d"
+  "CMakeFiles/etsn_net.dir/qcc.cpp.o"
+  "CMakeFiles/etsn_net.dir/qcc.cpp.o.d"
+  "CMakeFiles/etsn_net.dir/stream.cpp.o"
+  "CMakeFiles/etsn_net.dir/stream.cpp.o.d"
+  "CMakeFiles/etsn_net.dir/topology.cpp.o"
+  "CMakeFiles/etsn_net.dir/topology.cpp.o.d"
+  "libetsn_net.a"
+  "libetsn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/expand.cpp" "src/sched/CMakeFiles/etsn_sched.dir/expand.cpp.o" "gcc" "src/sched/CMakeFiles/etsn_sched.dir/expand.cpp.o.d"
+  "/root/repo/src/sched/heuristic.cpp" "src/sched/CMakeFiles/etsn_sched.dir/heuristic.cpp.o" "gcc" "src/sched/CMakeFiles/etsn_sched.dir/heuristic.cpp.o.d"
+  "/root/repo/src/sched/incremental.cpp" "src/sched/CMakeFiles/etsn_sched.dir/incremental.cpp.o" "gcc" "src/sched/CMakeFiles/etsn_sched.dir/incremental.cpp.o.d"
+  "/root/repo/src/sched/program.cpp" "src/sched/CMakeFiles/etsn_sched.dir/program.cpp.o" "gcc" "src/sched/CMakeFiles/etsn_sched.dir/program.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/etsn_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/etsn_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/etsn_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/etsn_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/smt_builder.cpp" "src/sched/CMakeFiles/etsn_sched.dir/smt_builder.cpp.o" "gcc" "src/sched/CMakeFiles/etsn_sched.dir/smt_builder.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/sched/CMakeFiles/etsn_sched.dir/validate.cpp.o" "gcc" "src/sched/CMakeFiles/etsn_sched.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/etsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/etsn_smt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etsn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

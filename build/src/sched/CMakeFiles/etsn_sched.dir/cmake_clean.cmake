@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsn_sched.dir/expand.cpp.o"
+  "CMakeFiles/etsn_sched.dir/expand.cpp.o.d"
+  "CMakeFiles/etsn_sched.dir/heuristic.cpp.o"
+  "CMakeFiles/etsn_sched.dir/heuristic.cpp.o.d"
+  "CMakeFiles/etsn_sched.dir/incremental.cpp.o"
+  "CMakeFiles/etsn_sched.dir/incremental.cpp.o.d"
+  "CMakeFiles/etsn_sched.dir/program.cpp.o"
+  "CMakeFiles/etsn_sched.dir/program.cpp.o.d"
+  "CMakeFiles/etsn_sched.dir/schedule.cpp.o"
+  "CMakeFiles/etsn_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/etsn_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/etsn_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/etsn_sched.dir/smt_builder.cpp.o"
+  "CMakeFiles/etsn_sched.dir/smt_builder.cpp.o.d"
+  "CMakeFiles/etsn_sched.dir/validate.cpp.o"
+  "CMakeFiles/etsn_sched.dir/validate.cpp.o.d"
+  "libetsn_sched.a"
+  "libetsn_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsn_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

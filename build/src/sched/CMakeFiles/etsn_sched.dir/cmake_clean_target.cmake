@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libetsn_sched.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/kernel.cpp" "src/sim/CMakeFiles/etsn_sim.dir/kernel.cpp.o" "gcc" "src/sim/CMakeFiles/etsn_sim.dir/kernel.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/etsn_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/etsn_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/port.cpp" "src/sim/CMakeFiles/etsn_sim.dir/port.cpp.o" "gcc" "src/sim/CMakeFiles/etsn_sim.dir/port.cpp.o.d"
+  "/root/repo/src/sim/recorder.cpp" "src/sim/CMakeFiles/etsn_sim.dir/recorder.cpp.o" "gcc" "src/sim/CMakeFiles/etsn_sim.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/etsn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/etsn_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/etsn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/smt/CMakeFiles/etsn_smt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

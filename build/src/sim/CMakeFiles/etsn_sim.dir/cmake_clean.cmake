@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsn_sim.dir/kernel.cpp.o"
+  "CMakeFiles/etsn_sim.dir/kernel.cpp.o.d"
+  "CMakeFiles/etsn_sim.dir/network.cpp.o"
+  "CMakeFiles/etsn_sim.dir/network.cpp.o.d"
+  "CMakeFiles/etsn_sim.dir/port.cpp.o"
+  "CMakeFiles/etsn_sim.dir/port.cpp.o.d"
+  "CMakeFiles/etsn_sim.dir/recorder.cpp.o"
+  "CMakeFiles/etsn_sim.dir/recorder.cpp.o.d"
+  "libetsn_sim.a"
+  "libetsn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/idl.cpp" "src/smt/CMakeFiles/etsn_smt.dir/idl.cpp.o" "gcc" "src/smt/CMakeFiles/etsn_smt.dir/idl.cpp.o.d"
+  "/root/repo/src/smt/sat.cpp" "src/smt/CMakeFiles/etsn_smt.dir/sat.cpp.o" "gcc" "src/smt/CMakeFiles/etsn_smt.dir/sat.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/smt/CMakeFiles/etsn_smt.dir/solver.cpp.o" "gcc" "src/smt/CMakeFiles/etsn_smt.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/etsn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsn_smt.dir/idl.cpp.o"
+  "CMakeFiles/etsn_smt.dir/idl.cpp.o.d"
+  "CMakeFiles/etsn_smt.dir/sat.cpp.o"
+  "CMakeFiles/etsn_smt.dir/sat.cpp.o.d"
+  "CMakeFiles/etsn_smt.dir/solver.cpp.o"
+  "CMakeFiles/etsn_smt.dir/solver.cpp.o.d"
+  "libetsn_smt.a"
+  "libetsn_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsn_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

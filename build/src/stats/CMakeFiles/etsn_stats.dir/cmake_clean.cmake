@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsn_stats.dir/latency.cpp.o"
+  "CMakeFiles/etsn_stats.dir/latency.cpp.o.d"
+  "libetsn_stats.a"
+  "libetsn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/etsn_workload.dir/iec60802.cpp.o"
+  "CMakeFiles/etsn_workload.dir/iec60802.cpp.o.d"
+  "libetsn_workload.a"
+  "libetsn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/etsn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

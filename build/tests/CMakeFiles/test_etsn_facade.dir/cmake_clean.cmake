@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_etsn_facade.dir/test_etsn_facade.cpp.o"
+  "CMakeFiles/test_etsn_facade.dir/test_etsn_facade.cpp.o.d"
+  "test_etsn_facade"
+  "test_etsn_facade.pdb"
+  "test_etsn_facade[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_etsn_facade.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

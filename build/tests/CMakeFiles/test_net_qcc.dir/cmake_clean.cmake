@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_qcc.dir/test_net_qcc.cpp.o"
+  "CMakeFiles/test_net_qcc.dir/test_net_qcc.cpp.o.d"
+  "test_net_qcc"
+  "test_net_qcc.pdb"
+  "test_net_qcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_qcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_incremental.dir/test_sched_incremental.cpp.o"
+  "CMakeFiles/test_sched_incremental.dir/test_sched_incremental.cpp.o.d"
+  "test_sched_incremental"
+  "test_sched_incremental.pdb"
+  "test_sched_incremental[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_incremental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_smt.dir/test_sched_smt.cpp.o"
+  "CMakeFiles/test_sched_smt.dir/test_sched_smt.cpp.o.d"
+  "test_sched_smt"
+  "test_sched_smt.pdb"
+  "test_sched_smt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_validate.dir/test_sched_validate.cpp.o"
+  "CMakeFiles/test_sched_validate.dir/test_sched_validate.cpp.o.d"
+  "test_sched_validate"
+  "test_sched_validate.pdb"
+  "test_sched_validate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

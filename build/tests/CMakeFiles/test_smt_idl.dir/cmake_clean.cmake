@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_idl.dir/test_smt_idl.cpp.o"
+  "CMakeFiles/test_smt_idl.dir/test_smt_idl.cpp.o.d"
+  "test_smt_idl"
+  "test_smt_idl.pdb"
+  "test_smt_idl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

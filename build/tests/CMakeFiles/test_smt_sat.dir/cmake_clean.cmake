@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smt_sat.dir/test_smt_sat.cpp.o"
+  "CMakeFiles/test_smt_sat.dir/test_smt_sat.cpp.o.d"
+  "test_smt_sat"
+  "test_smt_sat.pdb"
+  "test_smt_sat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smt_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

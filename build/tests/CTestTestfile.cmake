@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_smt_sat[1]_include.cmake")
+include("/root/repo/build/tests/test_smt_idl[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_expand[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_smt[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_port[1]_include.cmake")
+include("/root/repo/build/tests/test_e2e[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_validate[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_network[1]_include.cmake")
+include("/root/repo/build/tests/test_property_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_port_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_sched_incremental[1]_include.cmake")
+include("/root/repo/build/tests/test_etsn_facade[1]_include.cmake")
+include("/root/repo/build/tests/test_net_qcc[1]_include.cmake")
