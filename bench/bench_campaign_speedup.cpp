@@ -1,0 +1,93 @@
+// Campaign runner scaling: the same ≥32-experiment grid (seeds × loads ×
+// engines on the testbed topology) through the serial path (1 thread) and
+// the work-stealing pool (--threads N, default hardware concurrency),
+// verifying the two runs' JSON dumps — every per-stream sample summary and
+// campaign aggregate — are bit-identical, and reporting the speedup.
+#include "harness.h"
+
+namespace {
+
+etsn::Campaign makeGrid(const etsn::bench::Args& args) {
+  using namespace etsn;
+  Campaign c;
+  c.name = "campaign_speedup";
+  const std::vector<double> loads{0.25, 0.4, 0.55, 0.7};
+  const int replicates = args.full ? 8 : 4;
+  for (int rep = 0; rep < replicates; ++rep) {
+    for (const double load : loads) {
+      for (const bool heuristic : {false, true}) {
+        char label[64];
+        std::snprintf(label, sizeof label, "rep%d/load%.0f/%s", rep,
+                      load * 100, heuristic ? "firstfit" : "smt");
+        c.add(label, [args, load, heuristic](std::uint64_t taskSeed) {
+          Experiment ex;
+          ex.topo = net::makeTestbedTopology();
+          workload::TctWorkload w;
+          w.numStreams = 6;
+          w.networkLoad = load;
+          w.seed = taskSeed;  // replicate axis: campaign-derived seeds
+          ex.specs = workload::generateTct(ex.topo, w);
+          ex.specs.push_back(
+              workload::makeEct("ect", 1, 3, milliseconds(16), 1500));
+          ex.options.useHeuristic = heuristic;
+          ex.options.config.numProbabilistic = 4;
+          ex.simConfig.duration = args.duration;
+          ex.simConfig.seed = taskSeed;
+          ex.validateSchedule = false;
+          return ex;
+        });
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace etsn;
+  using namespace etsn::bench;
+  Args args = Args::parse(argc, argv);
+  if (args.duration == seconds(10)) args.duration = seconds(2);
+
+  printHeader("Campaign scaling: serial vs work-stealing pool");
+  std::printf("grid: %s\n", args.full ? "8 reps x 4 loads x 2 engines = 64"
+                                      : "4 reps x 4 loads x 2 engines = 32");
+
+  Campaign serial = makeGrid(args);
+  serial.seed = args.seed;
+  serial.threads = 1;
+  const CampaignResult rs = runCampaign(serial);
+  std::printf("serial   : %2d thread(s)  %6.2fs  (%d/%zu feasible)\n",
+              rs.threads, rs.wallSeconds, rs.feasibleCount(),
+              rs.tasks.size());
+
+  Campaign pooled = makeGrid(args);
+  pooled.seed = args.seed;
+  pooled.threads = args.threads;  // 0 = hardware concurrency
+  const CampaignResult rp = runCampaign(pooled);
+  std::printf("pooled   : %2d thread(s)  %6.2fs  (%d/%zu feasible)\n",
+              rp.threads, rp.wallSeconds, rp.feasibleCount(),
+              rp.tasks.size());
+
+  const std::string js = toJson(rs, /*includeSamples=*/true);
+  const std::string jp = toJson(rp, /*includeSamples=*/true);
+  std::printf("determinism: per-sample JSON dumps (%zu bytes) %s\n",
+              js.size(), js == jp ? "BIT-IDENTICAL" : "DIFFER [BUG]");
+  std::printf("speedup  : %.2fx with %d threads\n",
+              rs.wallSeconds / rp.wallSeconds, rp.threads);
+
+  const stats::Summary agg = rp.aggregate("ect");
+  std::printf("aggregate ect: n=%lld avg=%.1fus worst=%.1fus jitter=%.1fus\n",
+              static_cast<long long>(agg.count), agg.meanUs(), agg.maxUs(),
+              agg.jitterUs());
+  if (!args.jsonPath.empty()) {
+    std::ofstream out(args.jsonPath);
+    out << toJson(rp, false, /*includeTiming=*/true) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "[campaign %s: cannot write JSON to %s]\n",
+                   rp.name.c_str(), args.jsonPath.c_str());
+    }
+  }
+  return js == jp ? 0 : 1;
+}

@@ -2,6 +2,9 @@
 // 25% / 50% / 75% network load, for E-TSN, PERIOD and AVB, plus the
 // headline numbers of §VI-B (423 us average / 515 us worst / 39 us jitter
 // for E-TSN at 75% load over 3 hops).
+//
+// The load×method grid runs as one campaign (--threads N to fan out); all
+// cells share the --seed workload so the methods compete on equal terms.
 #include "harness.h"
 
 int main(int argc, char** argv) {
@@ -18,11 +21,25 @@ int main(int argc, char** argv) {
   const sched::Method methods[] = {sched::Method::ETSN, sched::Method::PERIOD,
                                    sched::Method::AVB};
 
+  Campaign c;
+  c.name = "fig11_testbed_cdf";
+  for (const double load : loads) {
+    for (const auto method : methods) {
+      char label[64];
+      std::snprintf(label, sizeof label, "load%.0f/%s", load * 100,
+                    sched::methodName(method));
+      c.add(label, [args, method, load](std::uint64_t) {
+        return testbedExperiment(args, method, load);
+      });
+    }
+  }
+  const CampaignResult cr = runBenchCampaign(std::move(c), args);
+
+  std::size_t task = 0;
   for (const double load : loads) {
     std::printf("\n--- network load %.0f%% ---\n", load * 100);
     for (const auto method : methods) {
-      const ExperimentResult r =
-          runExperiment(testbedExperiment(args, method, load));
+      const ExperimentResult& r = cr.tasks[task++].result;
       printEctRow(sched::methodName(method), r);
       if (!r.feasible) continue;
       const auto points = stats::cdf(r.byName("ect").samples, 10);

@@ -8,14 +8,18 @@
 // target — see EXPERIMENTS.md.
 //
 // Common flags: --quick (default) trims sweeps for a fast pass;
-// --full runs the complete parameter grid; --seed N; --duration SECONDS.
+// --full runs the complete parameter grid; --seed N; --duration SECONDS;
+// --threads N fans the figure's grid across a campaign thread pool
+// (0 = hardware concurrency); --json PATH dumps the campaign result.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "etsn/campaign.h"
 #include "etsn/etsn.h"
 #include "net/ethernet.h"
 
@@ -26,6 +30,8 @@ struct Args {
   std::uint64_t seed = 7;
   TimeNs duration = seconds(10);
   int numProbabilistic = 8;
+  int threads = 0;  // campaign pool size; 0 = hardware concurrency
+  std::string jsonPath;
 
   static Args parse(int argc, char** argv) {
     std::setvbuf(stdout, nullptr, _IOLBF, 0);  // survive timeouts/pipes
@@ -39,15 +45,43 @@ struct Args {
         a.seed = std::strtoull(argv[++i], nullptr, 10);
       } else if (!std::strcmp(argv[i], "--duration") && i + 1 < argc) {
         a.duration = seconds(std::strtoll(argv[++i], nullptr, 10));
+      } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+        a.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
+        a.jsonPath = argv[++i];
       } else if (!std::strcmp(argv[i], "--help")) {
         std::printf(
-            "flags: --quick (default) | --full | --seed N | --duration S\n");
+            "flags: --quick (default) | --full | --seed N | --duration S"
+            " | --threads N | --json PATH\n");
         std::exit(0);
       }
     }
     return a;
   }
 };
+
+/// Run the campaign with the harness' thread/JSON flags applied: fans the
+/// grid across `--threads` workers and, with `--json PATH`, writes the
+/// deterministic campaign dump (plus timing) to PATH.
+inline CampaignResult runBenchCampaign(Campaign c, const Args& args) {
+  c.threads = args.threads;
+  c.seed = args.seed;
+  CampaignResult r = runCampaign(c);
+  std::printf("[campaign %s: %zu tasks, %d threads, %.1fs]\n", r.name.c_str(),
+              r.tasks.size(), r.threads, r.wallSeconds);
+  if (!args.jsonPath.empty()) {
+    std::ofstream out(args.jsonPath);
+    out << toJson(r, /*includeSamples=*/false, /*includeTiming=*/true) << "\n";
+    if (out) {
+      std::printf("[campaign %s: JSON -> %s]\n", r.name.c_str(),
+                  args.jsonPath.c_str());
+    } else {
+      std::fprintf(stderr, "[campaign %s: cannot write JSON to %s]\n",
+                   r.name.c_str(), args.jsonPath.c_str());
+    }
+  }
+  return r;
+}
 
 /// §VI-B testbed setting: 2 switches + 4 devices, ten TCT streams with
 /// periods {4, 8, 16} ms, one ECT stream D2 -> D4 (min interevent 16 ms).

@@ -1,11 +1,14 @@
 #include "common/log.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace etsn {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+// Atomic: campaign workers log concurrently while a driver may adjust the
+// level; the level is a plain filter, no ordering required.
+std::atomic<LogLevel> g_level{LogLevel::Warn};
 const char* levelName(LogLevel l) {
   switch (l) {
     case LogLevel::Debug: return "DEBUG";

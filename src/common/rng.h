@@ -2,7 +2,9 @@
 //
 // Every experiment draws from a single seeded Rng so runs are reproducible
 // bit-for-bit; helpers cover the draws the workload generator and event
-// sources need.
+// sources need.  Child generators (fork) and campaign task seeds
+// (deriveSeed) use a splitmix64 derivation so the derived streams are
+// statistically independent of the parent stream and of each other.
 #pragma once
 
 #include <cstdint>
@@ -15,7 +17,7 @@ namespace etsn {
 
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
 
   /// Uniform integer in [lo, hi] inclusive.
   std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) {
@@ -36,13 +38,34 @@ class Rng {
         uniformInt(0, static_cast<std::int64_t>(v.size()) - 1))];
   }
 
+  /// splitmix64 finalizer: a bijective avalanche mix of the input word
+  /// (Steele et al., "Fast splittable pseudorandom number generators").
+  static std::uint64_t splitmix64(std::uint64_t x) {
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+  /// Seed for the `index`-th derived stream of a root seed.  Adjacent
+  /// indices (and adjacent roots) land in unrelated engine states, so a
+  /// campaign can hand task i the seed deriveSeed(campaignSeed, i) and get
+  /// reproducible, pairwise-independent streams for any grid shape.
+  static std::uint64_t deriveSeed(std::uint64_t root, std::uint64_t index) {
+    return splitmix64(root + (index + 1) * 0x9E3779B97F4A7C15ull);
+  }
+
   /// Derive an independent child generator (for per-component streams).
-  Rng fork() { return Rng(engine_()); }
+  /// Successive forks yield distinct streams; forking does not advance the
+  /// parent's engine, so parent draws are unaffected by how many children
+  /// were split off.
+  Rng fork() { return Rng(deriveSeed(seed_, forks_++)); }
 
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  std::uint64_t seed_;
+  std::uint64_t forks_ = 0;
 };
 
 }  // namespace etsn

@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "common/check.h"
+
+namespace etsn {
+
+int ThreadPool::hardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads <= 0) threads = hardwareThreads();
+  queues_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this, i]() { workerLoop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(wakeMu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ETSN_CHECK(task != nullptr);
+  std::size_t target;
+  {
+    std::unique_lock<std::mutex> lock(wakeMu_);
+    target = nextQueue_;
+    nextQueue_ = (nextQueue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  {
+    Queue& q = *queues_[target];
+    std::unique_lock<std::mutex> lock(q.mu);
+    q.tasks.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::popLocal(std::size_t self, std::function<void()>& out) {
+  Queue& q = *queues_[self];
+  std::unique_lock<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.back());  // LIFO on the owner side
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::steal(std::size_t self, std::function<void()>& out) {
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    Queue& q = *queues_[(self + i) % n];
+    std::unique_lock<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    out = std::move(q.tasks.front());  // FIFO on the thief side
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::workerLoop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (popLocal(self, task) || steal(self, task)) {
+      {
+        std::unique_lock<std::mutex> lock(wakeMu_);
+        --pending_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wakeMu_);
+    if (stop_ && pending_ == 0) return;
+    wake_.wait(lock, [this]() { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ == 0) return;
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  struct Join {
+    std::mutex mu;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([join, &body, i]() {
+      try {
+        body(i);
+      } catch (...) {
+        std::unique_lock<std::mutex> lock(join->mu);
+        if (!join->error) join->error = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lock(join->mu);
+      if (--join->remaining == 0) join->done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(join->mu);
+  join->done.wait(lock, [&join]() { return join->remaining == 0; });
+  if (join->error) std::rethrow_exception(join->error);
+}
+
+}  // namespace etsn

@@ -1,0 +1,67 @@
+// Work-stealing thread pool for campaign fan-out.
+//
+// Each worker owns a deque: it pops its own tasks LIFO (cache-friendly for
+// recursively submitted work) and steals FIFO from a victim when empty, so
+// an uneven grid — e.g. a 40-stream SMT solve next to a toy instance —
+// keeps every core busy without a central run queue becoming the
+// bottleneck.  Determinism is the caller's job: tasks must write results
+// into per-task slots (see etsn::runCampaign), never into shared
+// accumulators whose value depends on completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace etsn {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(int threads = 0);
+
+  /// Drains nothing: joins after the queues are empty and all running
+  /// tasks have finished.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task.  Tasks must not submit to the same pool and block
+  /// on the result (workers execute, they do not nest waits).
+  void submit(std::function<void()> task);
+
+  /// Run body(0..n-1) across the pool and wait for all of them.  The first
+  /// exception thrown by any body is rethrown here (after every index has
+  /// either run or been abandoned by its thrower only — other indices
+  /// still complete).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  int numThreads() const { return static_cast<int>(workers_.size()); }
+
+  static int hardwareThreads();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void workerLoop(std::size_t self);
+  bool popLocal(std::size_t self, std::function<void()>& out);
+  bool steal(std::size_t self, std::function<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;  // one per worker
+  std::vector<std::thread> workers_;
+  std::mutex wakeMu_;
+  std::condition_variable wake_;
+  std::size_t pending_ = 0;  // queued but not yet popped (under wakeMu_)
+  bool stop_ = false;        // under wakeMu_
+  std::size_t nextQueue_ = 0;  // round-robin submit cursor (under wakeMu_)
+};
+
+}  // namespace etsn

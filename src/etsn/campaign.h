@@ -1,0 +1,97 @@
+// Parallel experiment campaigns.
+//
+// A Campaign is a grid of independent Experiments — the shape of every
+// evaluation in the paper (§VI: seeds × loads × methods) — fanned across a
+// work-stealing thread pool.  Task i receives the seed
+// Rng::deriveSeed(campaign.seed, i), results land in per-task slots, and
+// aggregates fold over those slots in task order, so a campaign's output
+// is bit-identical for any thread count and any completion order.
+//
+// Quick start:
+//
+//   etsn::Campaign c;
+//   c.seed = 42;
+//   for (int rep = 0; rep < 8; ++rep)
+//     c.add("rep" + std::to_string(rep), [](std::uint64_t taskSeed) {
+//       return makeMyExperiment(taskSeed);
+//     });
+//   etsn::CampaignResult r = etsn::runCampaign(c);
+//   std::cout << r.aggregate("ect").meanUs() << " us\n"
+//             << etsn::toJson(r);
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "etsn/etsn.h"
+
+namespace etsn {
+
+struct CampaignTask {
+  /// Grid coordinates for humans and the JSON export, e.g. "load75/AVB/s3".
+  std::string label;
+  /// Builds the cell's Experiment.  Receives the task's derived seed;
+  /// factories sweeping replicates feed it to the workload/simulator,
+  /// factories comparing methods on one fixed workload may ignore it.
+  /// Runs on a worker thread, so it must only touch its own state.
+  std::function<Experiment(std::uint64_t taskSeed)> make;
+};
+
+struct Campaign {
+  std::string name = "campaign";
+  /// Master seed; task i derives Rng::deriveSeed(seed, i).
+  std::uint64_t seed = 1;
+  /// Worker threads; 0 = hardware concurrency, 1 = serial reference path.
+  int threads = 0;
+  std::vector<CampaignTask> tasks;
+
+  void add(std::string label,
+           std::function<Experiment(std::uint64_t taskSeed)> make) {
+    tasks.push_back({std::move(label), std::move(make)});
+  }
+};
+
+struct CampaignTaskResult {
+  std::string label;
+  std::size_t index = 0;
+  std::uint64_t taskSeed = 0;
+  ExperimentResult result;
+  double wallSeconds = 0;  // timing only; never part of determinism checks
+};
+
+struct CampaignResult {
+  std::string name;
+  std::uint64_t seed = 0;
+  int threads = 0;
+  double wallSeconds = 0;
+  std::vector<CampaignTaskResult> tasks;  // same order as Campaign::tasks
+
+  /// Campaign-level summary of the named stream, folded with
+  /// stats::Summary::merge over feasible tasks in task order.
+  stats::Summary aggregate(const std::string& streamName) const;
+
+  /// All latency samples of the named stream, concatenated in task order
+  /// (feeds stats::percentile / stats::cdf for campaign-level CDFs).
+  std::vector<TimeNs> samples(const std::string& streamName) const;
+
+  /// Deadline misses summed over streams of `type` across all tasks.
+  long long totalDeadlineMisses(net::TrafficClass type) const;
+
+  int feasibleCount() const;
+};
+
+/// Run every task of the campaign across the pool and collect results.
+/// Exceptions thrown by a task (e.g. schedule validation) propagate to the
+/// caller after the remaining tasks finish.
+CampaignResult runCampaign(const Campaign& campaign);
+
+/// JSON export: campaign header, per-task results (per-stream summaries,
+/// optionally raw samples) and per-stream campaign aggregates.  Timing
+/// fields are included only with `includeTiming` so the default output is
+/// bit-identical across thread counts and runs.
+std::string toJson(const CampaignResult& r, bool includeSamples = false,
+                   bool includeTiming = false);
+
+}  // namespace etsn

@@ -8,6 +8,33 @@
 
 namespace etsn::stats {
 
+void Summary::merge(const Summary& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count);
+  const double nb = static_cast<double>(other.count);
+  const double n = na + nb;
+  // M2 (sum of squared deviations) is recoverable from the population
+  // stddev; combine with the cross-shard mean-shift term.
+  const double m2a = stddevNs * stddevNs * na;
+  const double m2b = other.stddevNs * other.stddevNs * nb;
+  const double delta = other.meanNs - meanNs;
+  const double m2 = m2a + m2b + delta * delta * na * nb / n;
+  meanNs += delta * nb / n;
+  stddevNs = std::sqrt(m2 / n);
+  minNs = std::min(minNs, other.minNs);
+  maxNs = std::max(maxNs, other.maxNs);
+  count += other.count;
+}
+
+Summary merged(Summary a, const Summary& b) {
+  a.merge(b);
+  return a;
+}
+
 Summary summarize(const std::vector<TimeNs>& samples) {
   Summary s;
   if (samples.empty()) return s;

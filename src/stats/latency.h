@@ -20,7 +20,19 @@ struct Summary {
   double meanUs() const { return meanNs / 1000.0; }
   double maxUs() const { return static_cast<double>(maxNs) / 1000.0; }
   double jitterUs() const { return stddevNs / 1000.0; }
+
+  /// Fold another shard's summary into this one (Chan et al.'s parallel
+  /// moment combination), so per-shard aggregates compose into a
+  /// campaign-level summary without keeping the samples.  Exact for
+  /// count/min/max; mean and stddev agree with a single pass over the
+  /// concatenated samples up to floating-point rounding (associative and
+  /// commutative to the same tolerance).  Merging an empty summary is the
+  /// identity in either direction.
+  void merge(const Summary& other);
 };
+
+/// Non-mutating form of Summary::merge.
+Summary merged(Summary a, const Summary& b);
 
 /// Summary over a sample set (empty input yields a zero summary).
 Summary summarize(const std::vector<TimeNs>& samples);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/math.h"
 #include "common/rng.h"
@@ -93,6 +95,64 @@ TEST(Rng, ForkIndependent) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(child.uniformInt(0, 1 << 30), child2.uniformInt(0, 1 << 30));
   }
+}
+
+TEST(Rng, ForkDoesNotDisturbParent) {
+  // splitmix64 derivation: splitting children off must leave the parent's
+  // own stream untouched (campaign tasks rely on this).
+  Rng plain(11);
+  std::vector<std::int64_t> expected;
+  for (int i = 0; i < 20; ++i) expected.push_back(plain.uniformInt(0, 1 << 30));
+
+  Rng forked(11);
+  forked.fork();
+  forked.fork();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(forked.uniformInt(0, 1 << 30), expected[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Rng, SuccessiveForksAreDistinctStreams) {
+  Rng parent(3);
+  Rng c1 = parent.fork();
+  Rng c2 = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    equal += c1.uniformInt(0, 1 << 30) == c2.uniformInt(0, 1 << 30) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 4);  // unrelated streams collide only by chance
+}
+
+// Stream-independence smoke test: child output should look unrelated to
+// the parent's — compare bit agreement against the 50% expected for
+// independent uniform draws.
+TEST(Rng, ForkStreamIndependenceSmoke) {
+  Rng parent(1234);
+  Rng child = parent.fork();
+  int agreeing = 0;
+  constexpr int kDraws = 256;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto p = static_cast<std::uint64_t>(parent.uniformInt(0, (1 << 30)));
+    const auto c = static_cast<std::uint64_t>(child.uniformInt(0, (1 << 30)));
+    for (int bit = 0; bit < 30; ++bit) {
+      agreeing += ((p >> bit) & 1) == ((c >> bit) & 1) ? 1 : 0;
+    }
+  }
+  const double frac = static_cast<double>(agreeing) / (kDraws * 30);
+  EXPECT_NEAR(frac, 0.5, 0.03);
+}
+
+TEST(Rng, DeriveSeedDecorrelatesAdjacentIndices) {
+  // Task seeds for adjacent indices (and adjacent roots) must differ and
+  // not collide across a realistic grid.
+  std::vector<std::uint64_t> seeds;
+  for (std::uint64_t root : {1ull, 2ull, 7ull}) {
+    for (std::uint64_t i = 0; i < 256; ++i) {
+      seeds.push_back(Rng::deriveSeed(root, i));
+    }
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 // Unit tests for the latency statistics module.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <vector>
+
 #include "common/check.h"
+#include "common/rng.h"
 #include "stats/latency.h"
 
 namespace etsn::stats {
@@ -40,6 +44,75 @@ TEST(Summary, UnorderedInput) {
   const Summary s = summarize({5000, 1000, 3000});
   EXPECT_EQ(s.minNs, 1000);
   EXPECT_EQ(s.maxNs, 5000);
+}
+
+void expectClose(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.minNs, b.minNs);
+  EXPECT_EQ(a.maxNs, b.maxNs);
+  EXPECT_NEAR(a.meanNs, b.meanNs, 1e-9 * (std::abs(b.meanNs) + 1));
+  EXPECT_NEAR(a.stddevNs, b.stddevNs, 1e-6 * (b.stddevNs + 1));
+}
+
+TEST(Merge, EmptyIsIdentityBothWays) {
+  const Summary s = summarize({1000, 2000, 5000});
+  expectClose(merged(s, Summary{}), s);
+  expectClose(merged(Summary{}, s), s);
+  EXPECT_EQ(merged(Summary{}, Summary{}).count, 0);
+}
+
+TEST(Merge, TwoShardsMatchSinglePass) {
+  const std::vector<TimeNs> a{1000, 2000, 3000};
+  const std::vector<TimeNs> b{4000, 5000};
+  std::vector<TimeNs> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  expectClose(merged(summarize(a), summarize(b)), summarize(all));
+}
+
+TEST(Merge, SingleSampleShards) {
+  const Summary s =
+      merged(merged(summarize({1000}), summarize({5000})), summarize({3000}));
+  expectClose(s, summarize({1000, 5000, 3000}));
+}
+
+// Property check over randomized shards: any sharding, any association
+// order and either operand order agree with one pass over the whole set.
+TEST(Merge, RandomShardsAssociativeCommutativeVsBaseline) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int numShards = static_cast<int>(rng.uniformInt(1, 6));
+    std::vector<std::vector<TimeNs>> shards(
+        static_cast<std::size_t>(numShards));
+    std::vector<TimeNs> all;
+    for (auto& shard : shards) {
+      const int n = static_cast<int>(rng.uniformInt(0, 40));  // empties too
+      for (int i = 0; i < n; ++i) {
+        shard.push_back(rng.uniformInt(0, 2'000'000));
+      }
+      all.insert(all.end(), shard.begin(), shard.end());
+    }
+    const Summary baseline = summarize(all);
+
+    Summary leftFold;  // ((s0 + s1) + s2) + ...
+    for (const auto& shard : shards) leftFold.merge(summarize(shard));
+    expectClose(leftFold, baseline);
+
+    Summary rightFold;  // s0 + (s1 + (s2 + ...))
+    for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+      rightFold = merged(summarize(*it), rightFold);
+    }
+    expectClose(rightFold, baseline);
+
+    if (numShards >= 2) {  // commutativity on a random adjacent swap
+      std::vector<std::vector<TimeNs>> swapped = shards;
+      const auto i = static_cast<std::size_t>(
+          rng.uniformInt(0, numShards - 2));
+      std::swap(swapped[i], swapped[i + 1]);
+      Summary swapFold;
+      for (const auto& shard : swapped) swapFold.merge(summarize(shard));
+      expectClose(swapFold, baseline);
+    }
+  }
 }
 
 TEST(Percentile, Endpoints) {

@@ -1,0 +1,97 @@
+// Unit tests for the work-stealing thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace etsn {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&ran]() { ran.fetch_add(1); });
+    }
+  }  // destructor drains the queues
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, HardwareDefaultHasAtLeastOneWorker) {
+  ThreadPool pool;
+  EXPECT_GE(pool.numThreads(), 1);
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr std::size_t kN = 257;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallelFor(kN, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIsANoop) {
+  ThreadPool pool(2);
+  pool.parallelFor(0, [](std::size_t) { FAIL() << "body ran for n=0"; });
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.parallelFor(16,
+                       [&ran](std::size_t i) {
+                         if (i == 5) throw std::runtime_error("boom");
+                         ran.fetch_add(1);
+                       }),
+      std::runtime_error);
+  // Non-throwing indices all still executed.
+  EXPECT_EQ(ran.load(), 15);
+}
+
+TEST(ThreadPool, PoolIsReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    pool.parallelFor(20, [&ran](std::size_t) { ran.fetch_add(1); });
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, StealingSpreadsImbalancedWork) {
+  // One long task must not serialize the rest: with 4 workers, total wall
+  // time for {1 x 200ms, 30 x ~0ms} should be far below the serial sum.
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  const auto start = std::chrono::steady_clock::now();
+  pool.parallelFor(31, [&](std::size_t i) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      seen.insert(std::this_thread::get_id());
+    }
+    if (i == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  // Generous bound: the sleeper plus scheduling slack, not 31 x 200ms.
+  EXPECT_LT(ms, 2000.0);
+  EXPECT_GE(seen.size(), 1u);
+}
+
+}  // namespace
+}  // namespace etsn
