@@ -1,0 +1,142 @@
+// Fault-drill campaign: message delivery ratio under injected faults — the
+// robustness companion to the latency figures.  Two sweeps on the §VI-B
+// testbed setting, each cell running E-TSN, PERIOD and AVB on the same
+// workload:
+//   * independent per-frame loss on every link at increasing rates
+//     (plus one Gilbert-Elliott burst-loss cell per rate in --full);
+//   * an outage of the SW1-SW2 trunk cable of increasing length, starting
+//     mid-run.
+// Reported per cell: delivery ratio of the ECT stream and of the TCT
+// aggregate, with loss attribution (random/burst vs outage).
+#include "harness.h"
+
+namespace {
+
+using namespace etsn;
+
+/// Aggregate message delivery ratio over all streams of one class.
+double classRatio(const ExperimentResult& r, net::TrafficClass type) {
+  std::int64_t sent = 0, delivered = 0;
+  for (const StreamResult& s : r.streams) {
+    if (s.type != type) continue;
+    sent += s.sent;
+    delivered += s.delivered;
+  }
+  return sent > 0 ? static_cast<double>(delivered) / static_cast<double>(sent)
+                  : 1.0;
+}
+
+std::int64_t totalDropped(const ExperimentResult& r, bool outage) {
+  std::int64_t n = 0;
+  for (const StreamResult& s : r.streams) {
+    n += outage ? s.framesDroppedOutage : s.framesDroppedLoss;
+  }
+  return n;
+}
+
+void printCell(const char* label, const ExperimentResult& r) {
+  if (!r.feasible) {
+    std::printf("  %-20s INFEASIBLE (engine %s)\n", label,
+                r.solve.engine.c_str());
+    return;
+  }
+  std::printf("  %-20s ect=%.6f  tct=%.6f  dropped(loss=%lld outage=%lld)\n",
+              label, classRatio(r, net::TrafficClass::EventTriggered),
+              classRatio(r, net::TrafficClass::TimeTriggered),
+              static_cast<long long>(totalDropped(r, false)),
+              static_cast<long long>(totalDropped(r, true)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  const double load = 0.5;
+  const sched::Method methods[] = {sched::Method::ETSN, sched::Method::PERIOD,
+                                   sched::Method::AVB};
+
+  const std::vector<double> lossRates =
+      args.full ? std::vector<double>{0, 1e-4, 1e-3, 5e-3, 1e-2, 5e-2}
+                : std::vector<double>{0, 1e-3, 1e-2};
+  const std::vector<TimeNs> outageLens =
+      args.full ? std::vector<TimeNs>{0, milliseconds(5), milliseconds(20),
+                                      milliseconds(50), milliseconds(200)}
+                : std::vector<TimeNs>{0, milliseconds(20), milliseconds(100)};
+
+  Campaign c;
+  c.name = "fault_sweep";
+  for (const double rate : lossRates) {
+    for (const sched::Method m : methods) {
+      char label[64];
+      std::snprintf(label, sizeof label, "loss%.0e/%s", rate,
+                    sched::methodName(m));
+      c.add(label, [args, m, rate, load](std::uint64_t taskSeed) {
+        Experiment ex = bench::testbedExperiment(args, m, load);
+        ex.simConfig.seed = taskSeed;
+        if (rate > 0) {
+          sim::LossModel loss;  // iid loss on every link
+          loss.dropProbability = rate;
+          ex.simConfig.faults.losses.push_back(loss);
+        }
+        return ex;
+      });
+      if (args.full && rate > 0) {
+        std::snprintf(label, sizeof label, "burst%.0e/%s", rate,
+                      sched::methodName(m));
+        c.add(label, [args, m, rate, load](std::uint64_t taskSeed) {
+          Experiment ex = bench::testbedExperiment(args, m, load);
+          ex.simConfig.seed = taskSeed;
+          // Same long-run loss rate concentrated into bursts: bad state
+          // loses everything, visited with stationary probability `rate`.
+          sim::LossModel loss;
+          loss.pGoodToBad = rate / (1 - rate) * 0.2;
+          loss.pBadToGood = 0.2;
+          loss.lossBad = 1.0;
+          ex.simConfig.faults.losses.push_back(loss);
+          return ex;
+        });
+      }
+    }
+  }
+  for (const TimeNs len : outageLens) {
+    for (const sched::Method m : methods) {
+      char label[64];
+      std::snprintf(label, sizeof label, "outage%lldms/%s",
+                    static_cast<long long>(len / milliseconds(1)),
+                    sched::methodName(m));
+      c.add(label, [args, m, len, load](std::uint64_t taskSeed) {
+        Experiment ex = bench::testbedExperiment(args, m, load);
+        ex.simConfig.seed = taskSeed;
+        if (len > 0) {
+          // The testbed's single trunk: SW1 (node 4) -> SW2 (node 5).
+          sim::LinkOutage o;
+          o.link = ex.topo.linkBetween(4, 5);
+          o.downAt = args.duration / 2;
+          o.upAt = o.downAt + len;
+          ex.simConfig.faults.outages.push_back(o);
+        }
+        return ex;
+      });
+    }
+  }
+
+  const CampaignResult r = bench::runBenchCampaign(std::move(c), args);
+
+  bench::printHeader("Fault sweep: delivery ratio under loss and outages");
+  std::printf("(testbed setting, load %.0f%%, duration %llds, seed %llu)\n",
+              load * 100,
+              static_cast<long long>(args.duration / seconds(1)),
+              static_cast<unsigned long long>(args.seed));
+  std::size_t i = 0;
+  for (; i < r.tasks.size(); ++i) {
+    const CampaignTaskResult& t = r.tasks[i];
+    if (t.label.rfind("outage", 0) == 0) break;  // sweep boundary
+    printCell(t.label.c_str(), t.result);
+  }
+  std::printf("\n");
+  for (; i < r.tasks.size(); ++i) {
+    const CampaignTaskResult& t = r.tasks[i];
+    printCell(t.label.c_str(), t.result);
+  }
+  return 0;
+}

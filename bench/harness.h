@@ -13,7 +13,9 @@
 // (0 = hardware concurrency); --json PATH dumps the campaign result.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -25,36 +27,107 @@
 
 namespace etsn::bench {
 
+/// Strict decimal parsers: the whole token must be one number (no trailing
+/// junk, no empty string), so "10x" or "" fail loudly instead of silently
+/// truncating like raw strtoull.
+inline bool parseUint64(const char* s, std::uint64_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+inline bool parseInt64(const char* s, std::int64_t* out) {
+  if (s == nullptr || *s == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 struct Args {
   bool full = false;
+  bool help = false;
   std::uint64_t seed = 7;
   TimeNs duration = seconds(10);
   int numProbabilistic = 8;
   int threads = 0;  // campaign pool size; 0 = hardware concurrency
   std::string jsonPath;
 
+  static const char* usage() {
+    return "flags: --quick (default) | --full | --seed N | --duration S"
+           " | --threads N | --json PATH | --help";
+  }
+
+  /// Parse without exiting: on success fills *out and returns true; on an
+  /// unknown flag, missing value, or malformed number returns false with a
+  /// one-line diagnostic in *error.
+  static bool tryParse(int argc, char** argv, Args* out, std::string* error) {
+    Args a;
+    auto value = [&](int* i, const char* flag, const char** v) {
+      if (*i + 1 >= argc) {
+        *error = std::string(flag) + " requires a value";
+        return false;
+      }
+      *v = argv[++*i];
+      return true;
+    };
+    auto badNumber = [&](const char* flag, const char* v) {
+      *error = std::string(flag) + ": not a valid number: '" + v + "'";
+      return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      const char* v = nullptr;
+      if (!std::strcmp(arg, "--full")) {
+        a.full = true;
+      } else if (!std::strcmp(arg, "--quick")) {
+        a.full = false;
+      } else if (!std::strcmp(arg, "--help")) {
+        a.help = true;
+      } else if (!std::strcmp(arg, "--seed")) {
+        if (!value(&i, arg, &v)) return false;
+        if (!parseUint64(v, &a.seed)) return badNumber(arg, v);
+      } else if (!std::strcmp(arg, "--duration")) {
+        std::int64_t s = 0;
+        if (!value(&i, arg, &v)) return false;
+        if (!parseInt64(v, &s) || s <= 0) return badNumber(arg, v);
+        a.duration = seconds(s);
+      } else if (!std::strcmp(arg, "--threads")) {
+        std::int64_t t = 0;
+        if (!value(&i, arg, &v)) return false;
+        if (!parseInt64(v, &t) || t < 0) return badNumber(arg, v);
+        a.threads = static_cast<int>(t);
+      } else if (!std::strcmp(arg, "--json")) {
+        if (!value(&i, arg, &v)) return false;
+        a.jsonPath = v;
+      } else {
+        *error = std::string("unknown flag '") + arg + "'";
+        return false;
+      }
+    }
+    *out = a;
+    return true;
+  }
+
+  /// Parse or die: errors print the diagnostic plus the usage line to
+  /// stderr and exit(2); --help prints usage and exits 0.
   static Args parse(int argc, char** argv) {
     std::setvbuf(stdout, nullptr, _IOLBF, 0);  // survive timeouts/pipes
     Args a;
-    for (int i = 1; i < argc; ++i) {
-      if (!std::strcmp(argv[i], "--full")) {
-        a.full = true;
-      } else if (!std::strcmp(argv[i], "--quick")) {
-        a.full = false;
-      } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
-        a.seed = std::strtoull(argv[++i], nullptr, 10);
-      } else if (!std::strcmp(argv[i], "--duration") && i + 1 < argc) {
-        a.duration = seconds(std::strtoll(argv[++i], nullptr, 10));
-      } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
-        a.threads = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
-      } else if (!std::strcmp(argv[i], "--json") && i + 1 < argc) {
-        a.jsonPath = argv[++i];
-      } else if (!std::strcmp(argv[i], "--help")) {
-        std::printf(
-            "flags: --quick (default) | --full | --seed N | --duration S"
-            " | --threads N | --json PATH\n");
-        std::exit(0);
-      }
+    std::string error;
+    if (!tryParse(argc, argv, &a, &error)) {
+      std::fprintf(stderr, "error: %s\n%s\n", error.c_str(), usage());
+      std::exit(2);
+    }
+    if (a.help) {
+      std::printf("%s\n", usage());
+      std::exit(0);
     }
     return a;
   }

@@ -76,6 +76,12 @@ void appendStream(std::string& out, const StreamResult& s,
   appendKv(out, "delivered", s.delivered);
   appendKv(out, "deadline_misses", s.deadlineMisses);
   appendKv(out, "deadline_ns", s.deadline);
+  appendKv(out, "sent", s.sent);
+  appendKv(out, "lost", s.lost);
+  appendKv(out, "unterminated", s.unterminated);
+  appendKv(out, "dropped_loss", s.framesDroppedLoss);
+  appendKv(out, "dropped_outage", s.framesDroppedOutage);
+  appendKv(out, "delivery_ratio", s.deliveryRatio);
   out += "\"latency\":";
   appendSummary(out, s.latency);
   if (includeSamples) {
@@ -183,6 +189,8 @@ std::string toJson(const CampaignResult& r, bool includeSamples,
     appendKv(out, "feasible",
              static_cast<std::int64_t>(t.result.feasible ? 1 : 0));
     appendKv(out, "engine", t.result.solve.engine);
+    appendKv(out, "degraded",
+             static_cast<std::int64_t>(t.result.solve.degraded ? 1 : 0));
     if (includeTiming) {
       appendKv(out, "wall_seconds", t.wallSeconds);
       appendKv(out, "solve_seconds", t.result.solve.solveSeconds);

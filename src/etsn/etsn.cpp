@@ -41,6 +41,12 @@ ExperimentResult runExperiment(const Experiment& ex) {
       r.delivered = sr.messagesDelivered;
       r.deadlineMisses = sr.deadlineMisses;
       r.deadline = sr.deadline;
+      r.sent = sr.messagesSent;
+      r.lost = sr.messagesLost;
+      r.unterminated = sr.messagesUnterminated;
+      r.framesDroppedLoss = sr.framesDroppedLoss;
+      r.framesDroppedOutage = sr.framesDroppedOutage;
+      r.deliveryRatio = sr.deliveryRatio();
     }
     out.streams.push_back(std::move(r));
   }

@@ -47,6 +47,15 @@ struct StreamResult {
   std::int64_t delivered = 0;
   std::int64_t deadlineMisses = 0;
   TimeNs deadline = 0;
+
+  // Survivability (fault layer); zero on fault-free runs except `sent`.
+  std::int64_t sent = 0;          // message instances emitted
+  std::int64_t lost = 0;          // >= 1 frame dropped by the fault layer
+  std::int64_t unterminated = 0;  // still in flight when the run ended
+  std::int64_t framesDroppedLoss = 0;    // random + burst loss
+  std::int64_t framesDroppedOutage = 0;  // cut by a link outage
+  /// delivered / sent (1.0 with nothing sent).
+  double deliveryRatio = 1.0;
 };
 
 struct ExperimentResult {

@@ -48,8 +48,20 @@ LinkId Topology::linkBetween(NodeId a, NodeId b) const {
 }
 
 std::vector<LinkId> Topology::shortestPath(NodeId src, NodeId dst) const {
+  std::vector<LinkId> path = shortestPathAvoiding(src, dst, kNoLink);
+  if (path.empty()) {
+    throw ConfigError("no path from " + node(src).name + " to " +
+                      node(dst).name);
+  }
+  return path;
+}
+
+std::vector<LinkId> Topology::shortestPathAvoiding(NodeId src, NodeId dst,
+                                                   LinkId avoid) const {
   ETSN_CHECK(src >= 0 && src < numNodes() && dst >= 0 && dst < numNodes());
   ETSN_CHECK_MSG(src != dst, "stream source equals destination");
+  const LinkId avoidRev =
+      avoid == kNoLink ? kNoLink : links_[static_cast<std::size_t>(avoid)].reverse;
   std::vector<LinkId> via(static_cast<std::size_t>(numNodes()), kNoLink);
   std::vector<char> visited(static_cast<std::size_t>(numNodes()), 0);
   std::deque<NodeId> queue{src};
@@ -59,6 +71,7 @@ std::vector<LinkId> Topology::shortestPath(NodeId src, NodeId dst) const {
     queue.pop_front();
     if (n == dst) break;
     for (const LinkId l : out_[static_cast<std::size_t>(n)]) {
+      if (l == avoid || l == avoidRev) continue;
       const NodeId next = links_[static_cast<std::size_t>(l)].to;
       if (visited[static_cast<std::size_t>(next)]) continue;
       visited[static_cast<std::size_t>(next)] = 1;
@@ -66,10 +79,7 @@ std::vector<LinkId> Topology::shortestPath(NodeId src, NodeId dst) const {
       queue.push_back(next);
     }
   }
-  if (!visited[static_cast<std::size_t>(dst)]) {
-    throw ConfigError("no path from " + node(src).name + " to " +
-                      node(dst).name);
-  }
+  if (!visited[static_cast<std::size_t>(dst)]) return {};
   std::vector<LinkId> path;
   for (NodeId n = dst; n != src;) {
     const LinkId l = via[static_cast<std::size_t>(n)];

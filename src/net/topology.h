@@ -78,6 +78,12 @@ class Topology {
   /// if unreachable.
   std::vector<LinkId> shortestPath(NodeId src, NodeId dst) const;
 
+  /// Like shortestPath, but treats the given link and its reverse as cut
+  /// (a failed cable).  Returns an empty vector when dst is unreachable
+  /// without it, so callers can degrade instead of throwing.
+  std::vector<LinkId> shortestPathAvoiding(NodeId src, NodeId dst,
+                                           LinkId avoid) const;
+
   /// All devices (convenience for workload generators).
   std::vector<NodeId> devices() const;
 

@@ -1,13 +1,161 @@
 #include "sched/incremental.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
+#include "common/log.h"
 #include "common/math.h"
 #include "net/ethernet.h"
 #include "sched/expand.h"
+#include "sched/heuristic.h"
 
 namespace etsn::sched {
+
+LinkDownRepair repairLinkDown(const net::Topology& topo, const Schedule& base,
+                              net::LinkId failed) {
+  ETSN_CHECK_MSG(base.info.feasible, "cannot repair an infeasible schedule");
+  const net::LinkId failedRev = topo.link(failed).reverse;
+  auto usesFailed = [&](const std::vector<net::LinkId>& path) {
+    return std::find(path.begin(), path.end(), failed) != path.end() ||
+           std::find(path.begin(), path.end(), failedRev) != path.end();
+  };
+
+  LinkDownRepair out;
+  out.schedule.config = base.config;
+  out.schedule.specs = base.specs;
+  out.schedule.specToStreams.assign(base.specs.size(), {});
+
+  // Reroute per spec: all streams of one spec share a path, so decide on
+  // the first one.  Endpoints come from the routed path itself, which also
+  // covers specs with explicit paths and method-transformed streams.
+  std::vector<char> keep(base.streams.size(), 1);
+  std::vector<char> rerouted(base.streams.size(), 0);
+  std::vector<std::vector<net::LinkId>> pathOf(base.streams.size());
+  for (std::size_t i = 0; i < base.specs.size(); ++i) {
+    const auto& ids = base.specToStreams[i];
+    if (ids.empty()) continue;  // e.g. AVB's unscheduled ECT specs
+    const ExpandedStream& first =
+        base.streams[static_cast<std::size_t>(ids[0])];
+    if (!usesFailed(first.path)) continue;
+    const net::NodeId src = topo.link(first.path.front()).from;
+    const net::NodeId dst = topo.link(first.path.back()).to;
+    std::vector<net::LinkId> np = topo.shortestPathAvoiding(src, dst, failed);
+    if (np.empty()) {
+      out.droppedSpecs.push_back(static_cast<std::int32_t>(i));
+      for (const StreamId id : ids) keep[static_cast<std::size_t>(id)] = 0;
+    } else {
+      out.reroutedSpecs.push_back(static_cast<std::int32_t>(i));
+      for (const StreamId id : ids) {
+        rerouted[static_cast<std::size_t>(id)] = 1;
+        pathOf[static_cast<std::size_t>(id)] = np;
+      }
+    }
+  }
+
+  // Rebuild the stream set with contiguous ids and the new paths; prudent
+  // reservations are recomputed below once every path is known.
+  std::vector<ExpandedStream> streams;
+  std::vector<StreamId> oldIdOf;  // new id -> base id
+  for (const ExpandedStream& s : base.streams) {
+    if (!keep[static_cast<std::size_t>(s.id)]) continue;
+    ExpandedStream ns = s;
+    ns.id = static_cast<StreamId>(streams.size());
+    if (rerouted[static_cast<std::size_t>(s.id)]) {
+      ns.path = pathOf[static_cast<std::size_t>(s.id)];
+    }
+    ns.framesOnLink.assign(ns.path.size(), ns.baseFrames());
+    out.schedule.specToStreams[static_cast<std::size_t>(ns.specId)].push_back(
+        ns.id);
+    oldIdOf.push_back(s.id);
+    streams.push_back(std::move(ns));
+  }
+
+  // Prudent reservation (Alg. 1) against the post-failure ECT paths.  This
+  // reproduces expandStreams' counts exactly when nothing moved, so a
+  // difference marks the stream as affected (its reservation grid changed
+  // and its old slots no longer fit).
+  if (base.config.prudentReservation) {
+    for (ExpandedStream& st : streams) {
+      if (st.kind != StreamKind::Det || !st.share) continue;
+      for (std::size_t hop = 0; hop < st.path.size(); ++hop) {
+        const net::LinkId link = st.path[hop];
+        for (const auto& ids : out.schedule.specToStreams) {
+          if (ids.empty()) continue;
+          const ExpandedStream& pe =
+              streams[static_cast<std::size_t>(ids[0])];
+          if (pe.kind != StreamKind::Prob) continue;
+          if (std::find(pe.path.begin(), pe.path.end(), link) ==
+              pe.path.end())
+            continue;
+          st.framesOnLink[hop] += prudentExtraFrames(
+              st.baseFrames(), maxFrameTxTime(st, topo.link(link)),
+              pe.baseFrames(), pe.period);
+        }
+      }
+    }
+  }
+
+  // Affected = rerouted, or reservation grid changed under an ECT reroute.
+  std::vector<char> touched(streams.size(), 0);
+  for (std::size_t n = 0; n < streams.size(); ++n) {
+    const ExpandedStream& old =
+        base.streams[static_cast<std::size_t>(oldIdOf[n])];
+    touched[n] = rerouted[static_cast<std::size_t>(old.id)] ||
+                 streams[n].framesOnLink != old.framesOnLink;
+    if (touched[n]) {
+      ++out.repairedStreams;
+    } else {
+      ++out.untouchedStreams;
+    }
+  }
+
+  Schedule& sched = out.schedule;
+  const auto t0 = std::chrono::steady_clock::now();
+  ScheduleSmt smt(topo, streams, base.config);
+  smt.buildConstraints();
+  for (std::size_t n = 0; n < streams.size(); ++n) {
+    if (touched[n]) continue;
+    std::vector<Slot> pins;
+    for (const Slot& slot : base.slots) {
+      if (slot.stream != oldIdOf[n]) continue;
+      Slot p = slot;
+      p.stream = static_cast<StreamId>(n);
+      pins.push_back(p);
+    }
+    smt.pinStreamTo(static_cast<StreamId>(n), pins);
+  }
+  const smt::Result r = smt.solve();
+  if (r == smt::Result::Sat) {
+    sched.streams = smt.streams();
+    sched.slots = smt.extractSlots();
+    sched.info.feasible = true;
+    sched.info.engine = "smt-repair";
+  } else {
+    // Graceful degradation: drop the zero-disruption guarantee and let the
+    // first-fit heuristic re-place everything that survives the failure.
+    ETSN_LOG(Warn) << "pinned SMT repair failed ("
+                   << (r == smt::Result::Unknown ? "budget" : "unsat")
+                   << "); degrading to full heuristic re-placement";
+    HeuristicPlacer placer(topo, streams, base.config);
+    const bool ok = placer.place();
+    sched.streams = streams;
+    sched.info.feasible = ok;
+    sched.info.engine = "heuristic-repair";
+    if (ok) sched.slots = placer.slots();
+    out.degraded = true;
+    sched.info.degraded = true;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  sched.info.solveSeconds = std::chrono::duration<double>(t1 - t0).count();
+
+  if (!sched.streams.empty()) {
+    std::vector<std::int64_t> periods;
+    for (const ExpandedStream& s : sched.streams) periods.push_back(s.period);
+    sched.hyperperiod = lcmAll(periods);
+  }
+  return out;
+}
 
 IncrementalScheduler::IncrementalScheduler(
     const net::Topology& topo, std::vector<net::StreamSpec> specs,

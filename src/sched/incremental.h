@@ -28,6 +28,37 @@
 
 namespace etsn::sched {
 
+/// Result of a link-failure repair (graceful degradation, see
+/// repairLinkDown below).
+struct LinkDownRepair {
+  /// The repaired schedule.  info.feasible is false when even the
+  /// heuristic fallback could not place the affected streams.
+  Schedule schedule;
+  /// Spec indices that were given a new path around the failed link.
+  std::vector<std::int32_t> reroutedSpecs;
+  /// Spec indices left unreachable by the failure; they carry no streams
+  /// in the repaired schedule (specToStreams entry is empty).
+  std::vector<std::int32_t> droppedSpecs;
+  /// Streams preserved bit-for-bit (pinned to their base slots) vs.
+  /// streams that were re-placed (rerouted, or shared streams whose
+  /// prudent reservation changed with an ECT reroute).
+  int untouchedStreams = 0;
+  int repairedStreams = 0;
+  /// True when the SMT repair failed (unsat under pinning, or conflict
+  /// budget exhausted) and the whole schedule was re-placed by the
+  /// heuristic instead — running streams may have moved.
+  bool degraded = false;
+};
+
+/// Repair a feasible base schedule after a link (cable) failure: reroute
+/// every stream whose path uses the link or its reverse, recompute prudent
+/// reservations against the new ECT paths, and re-solve with every
+/// unaffected stream pinned to its existing slots (zero disruption for
+/// them).  Unreachable specs are dropped.  If the pinned SMT repair fails,
+/// falls back to a full heuristic re-placement with `degraded` set.
+LinkDownRepair repairLinkDown(const net::Topology& topo, const Schedule& base,
+                              net::LinkId failed);
+
 class IncrementalScheduler {
  public:
   /// Build and solve the base schedule.  Throws ConfigError on invalid

@@ -82,6 +82,15 @@ NetworkProgram compileProgram(const net::Topology& topo,
     const net::StreamSpec& spec = sched.specs[i];
     const auto& ids = sched.specToStreams[i];
 
+    // A spec with no streams was dropped by a link-failure repair (its
+    // destination became unreachable): no talker / source is installed.
+    // AVB's ECT specs are the exception — they are never scheduled but do
+    // emit (the CBS handles them at runtime).
+    if (ids.empty() && !(ms.method == Method::AVB &&
+                         spec.type == net::TrafficClass::EventTriggered)) {
+      continue;
+    }
+
     if (spec.type == net::TrafficClass::TimeTriggered) {
       ETSN_CHECK(ids.size() == 1);
       const ExpandedStream& s =

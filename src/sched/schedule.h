@@ -123,7 +123,11 @@ struct SolveInfo {
   std::int64_t smtConflicts = 0;
   std::int64_t smtDecisions = 0;
   std::int64_t smtIntVars = 0;
-  std::string engine;  // "smt" or "heuristic"
+  std::string engine;  // "smt", "heuristic", "smt+heuristic", ...
+  /// Graceful degradation: the primary (SMT) engine gave up — conflict
+  /// budget exhausted or repair infeasible under pinning — and the result
+  /// comes from the heuristic fallback instead.
+  bool degraded = false;
 };
 
 struct Schedule {

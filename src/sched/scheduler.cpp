@@ -124,7 +124,19 @@ MethodSchedule buildSchedule(const net::Topology& topo,
     sched.info.smtIntVars = st.intVars;
     if (sched.info.feasible) sched.slots = smt.extractSlots();
     if (r == smt::Result::Unknown) {
-      ETSN_LOG(Warn) << "SMT budget exhausted; schedule infeasible-unknown";
+      // Graceful degradation: the conflict budget ran out before a verdict.
+      // Fall back to the first-fit heuristic rather than reporting nothing
+      // — the result is marked so callers can tell it apart from a clean
+      // SMT solution.
+      ETSN_LOG(Warn)
+          << "SMT budget exhausted; degrading to the heuristic placer";
+      HeuristicPlacer placer(topo, exp.streams, options.config);
+      const bool ok = placer.place();
+      sched.streams = exp.streams;
+      sched.info.feasible = ok;
+      sched.info.engine = "smt+heuristic";
+      sched.info.degraded = true;
+      if (ok) sched.slots = placer.slots();
     }
   }
   const auto t1 = std::chrono::steady_clock::now();

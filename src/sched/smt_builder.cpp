@@ -165,6 +165,30 @@ void ScheduleSmt::pinStreams(int n, smt::Lit guard) {
   guard_ = smt::kLitUndef;
 }
 
+void ScheduleSmt::pinStreamTo(StreamId s, const std::vector<Slot>& slots) {
+  ETSN_CHECK(s >= 0 && static_cast<std::size_t>(s) < streams_.size());
+  const ExpandedStream& es = streams_[static_cast<std::size_t>(s)];
+  std::size_t pinned = 0;
+  for (const Slot& slot : slots) {
+    if (slot.stream != s) continue;
+    ETSN_CHECK_MSG(slot.start % tu_ == 0,
+                   "pinned slot start not on the time-unit grid");
+    const smt::IntVar v = phi(s, slot.hop, slot.frameIndex);
+    const std::int64_t val = slot.start / tu_;
+    solver_->require(solver_->le(v, val));
+    solver_->require(solver_->ge(v, val));
+    ++pinned;
+  }
+  std::size_t expected = 0;
+  for (int hop = 0; hop < es.hops(); ++hop) {
+    expected += static_cast<std::size_t>(
+        es.framesOnLink[static_cast<std::size_t>(hop)]);
+  }
+  ETSN_CHECK_MSG(pinned == expected,
+                 "pinStreamTo: slots do not cover stream '" << es.name
+                                                            << "'");
+}
+
 void ScheduleSmt::emitStreamLocal(const ExpandedStream& s) {
   // (1) + (2): every slot within [occurrence, period + slide].
   for (int hop = 0; hop < s.hops(); ++hop) {

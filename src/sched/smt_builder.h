@@ -41,6 +41,11 @@ class ScheduleSmt {
   /// guarded by `guard` (freeze existing slots during admission).
   void pinStreams(int n, smt::Lit guard);
 
+  /// Pin one stream's variables to previously extracted slots
+  /// (unconditionally), so a repair solve preserves it bit-for-bit.  The
+  /// slots must cover exactly the stream's (hop, frameIndex) grid.
+  void pinStreamTo(StreamId s, const std::vector<Slot>& slots);
+
   /// Drop the most recently added stream (after a rejected admission).
   /// Its guarded clauses stay in the solver but are permanently disabled
   /// by requiring the guard's negation; the stream no longer participates

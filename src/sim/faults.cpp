@@ -1,0 +1,119 @@
+#include "sim/faults.h"
+
+#include "common/check.h"
+
+namespace etsn::sim {
+
+namespace {
+/// Domain-separation tag for the fault RNG tree: keeps fault draws out of
+/// the simulator's main stream so enabling a zero-rate plan cannot
+/// perturb traffic generation.
+constexpr std::uint64_t kFaultSeedTag = 0xFA171E57ull;
+}  // namespace
+
+bool FaultPlan::empty() const {
+  for (const LossModel& m : losses) {
+    if (m.active()) return false;
+  }
+  for (const LinkOutage& o : outages) {
+    if (o.active()) return false;
+  }
+  for (const BabblingSource& b : babblers) {
+    if (b.active()) return false;
+  }
+  for (const SyncOutage& s : syncOutages) {
+    if (s.active()) return false;
+  }
+  return true;
+}
+
+FaultInjector::FaultInjector(const net::Topology& topo, const FaultPlan& plan,
+                             std::uint64_t seed)
+    : plan_(plan) {
+  const std::size_t n = static_cast<std::size_t>(topo.numLinks());
+  links_.resize(n);
+  outagesOf_.resize(n);
+
+  // Resolve per-link loss models: globals first, then specific entries;
+  // within each class the last matching entry wins.
+  for (const LossModel& m : plan_.losses) {
+    if (m.link == net::kNoLink) {
+      for (LinkState& ls : links_) ls.model = m;
+    }
+  }
+  for (const LossModel& m : plan_.losses) {
+    if (m.link == net::kNoLink) continue;
+    ETSN_CHECK_MSG(m.link >= 0 && static_cast<std::size_t>(m.link) < n,
+                   "loss model references unknown link " << m.link);
+    links_[static_cast<std::size_t>(m.link)].model = m;
+  }
+  for (const LossModel& m : plan_.losses) {
+    ETSN_CHECK_MSG(m.dropProbability >= 0 && m.dropProbability <= 1 &&
+                       m.pGoodToBad >= 0 && m.pGoodToBad <= 1 &&
+                       m.pBadToGood >= 0 && m.pBadToGood <= 1 &&
+                       m.lossGood >= 0 && m.lossGood <= 1 && m.lossBad >= 0 &&
+                       m.lossBad <= 1,
+                   "loss probabilities must lie in [0, 1]");
+  }
+
+  // An outage cuts the physical cable: register it on both directions.
+  for (const LinkOutage& o : plan_.outages) {
+    if (!o.active()) continue;
+    ETSN_CHECK_MSG(o.link >= 0 && static_cast<std::size_t>(o.link) < n,
+                   "outage references unknown link " << o.link);
+    outagesOf_[static_cast<std::size_t>(o.link)].push_back(o);
+    const net::LinkId rev = topo.link(o.link).reverse;
+    if (rev != net::kNoLink) {
+      outagesOf_[static_cast<std::size_t>(rev)].push_back(o);
+    }
+  }
+
+  // One independent RNG stream per link, derived from the run seed under
+  // a domain-separation tag (never touches the simulator's main stream).
+  linkRngs_.reserve(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    linkRngs_.emplace_back(
+        Rng::deriveSeed(Rng::splitmix64(seed ^ kFaultSeedTag), l));
+  }
+}
+
+std::optional<DropCause> FaultInjector::lossAt(net::LinkId link, TimeNs) {
+  LinkState& ls = links_[static_cast<std::size_t>(link)];
+  if (!ls.model.active()) return std::nullopt;
+  Rng& rng = linkRngs_[static_cast<std::size_t>(link)];
+  if (ls.model.burstActive()) {
+    // Advance the two-state chain once per frame, then draw the state's
+    // loss probability.
+    if (ls.bad) {
+      if (rng.uniformReal(0, 1) < ls.model.pBadToGood) ls.bad = false;
+    } else {
+      if (rng.uniformReal(0, 1) < ls.model.pGoodToBad) ls.bad = true;
+    }
+    const double p = ls.bad ? ls.model.lossBad : ls.model.lossGood;
+    if (p >= 1 || (p > 0 && rng.uniformReal(0, 1) < p)) {
+      return DropCause::BurstLoss;
+    }
+  }
+  if (ls.model.iidActive() &&
+      (ls.model.dropProbability >= 1 ||
+       rng.uniformReal(0, 1) < ls.model.dropProbability)) {
+    return DropCause::RandomLoss;
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::linkDown(net::LinkId link, TimeNs t) const {
+  for (const LinkOutage& o : outagesOf_[static_cast<std::size_t>(link)]) {
+    if (o.covers(t)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::syncSuppressed(net::NodeId node, TimeNs t) const {
+  for (const SyncOutage& s : plan_.syncOutages) {
+    if (s.covers(node, t)) return true;
+  }
+  return false;
+}
+
+}  // namespace etsn::sim

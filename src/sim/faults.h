@@ -1,0 +1,135 @@
+// Deterministic fault injection (the survivability layer).
+//
+// A FaultPlan composes per-run fault models: stochastic frame loss per
+// link (independent and Gilbert-Elliott burst loss), scheduled link
+// outages, "babbling" event sources that violate their declared minimum
+// interevent time, and 802.1AS sync outages that let clock drift
+// accumulate.  The FaultInjector evaluates the plan with its own seeded
+// per-link RNG streams, derived independently of the simulator's main
+// generator — so an empty (or all-zero) plan leaves a run byte-identical
+// to a fault-free one, and the same seed + plan reproduces every drop
+// bit-for-bit regardless of campaign thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "sim/frame.h"
+
+namespace etsn::sim {
+
+/// Per-link stochastic loss.  `dropProbability` is an independent
+/// per-frame draw; the Gilbert-Elliott layer adds two-state burst loss
+/// (state advances once per frame on the link).  A component with all
+/// probabilities zero is inactive and draws nothing.
+struct LossModel {
+  /// Target link; net::kNoLink applies to every link.  A link-specific
+  /// entry overrides a global one (the last matching entry wins).
+  net::LinkId link = net::kNoLink;
+  double dropProbability = 0;  // iid per-frame loss
+  // Gilbert-Elliott: per-frame state transition probabilities and the
+  // per-state loss probabilities.  Inactive unless pGoodToBad > 0 and at
+  // least one state actually loses frames.
+  double pGoodToBad = 0;
+  double pBadToGood = 1;
+  double lossGood = 0;
+  double lossBad = 0;
+
+  bool iidActive() const { return dropProbability > 0; }
+  bool burstActive() const {
+    return pGoodToBad > 0 && (lossGood > 0 || lossBad > 0);
+  }
+  bool active() const { return iidActive() || burstActive(); }
+};
+
+/// Scheduled outage of a physical cable: both directions of `link` are
+/// dead during [downAt, upAt).  Frames whose transmission completes
+/// inside the window are cut; queued frames wait for the link to return.
+struct LinkOutage {
+  net::LinkId link = net::kNoLink;
+  TimeNs downAt = 0;
+  TimeNs upAt = 0;  // upAt <= downAt = down for the rest of the run
+
+  bool active() const { return link != net::kNoLink; }
+  bool covers(TimeNs t) const {
+    return active() && t >= downAt && (upAt <= downAt || t < upAt);
+  }
+};
+
+/// A babbling-idiot event source: during [start, stop) the source at
+/// NetworkProgram::ectSources[ectIndex] emits additional events every
+/// `interval`, violating the declared minimum interevent time T — the
+/// stress test for the prudent-reservation guarantee (§III-D).
+struct BabblingSource {
+  std::int32_t ectIndex = 0;
+  TimeNs start = 0;
+  TimeNs stop = 0;
+  TimeNs interval = 0;
+
+  bool active() const { return interval > 0 && stop > start; }
+};
+
+/// 802.1AS sync outage: corrections are suppressed on `node`
+/// (net::kNoNode = every node) during [start, stop), so clock drift
+/// accumulates uncorrected until the next surviving sync.
+struct SyncOutage {
+  net::NodeId node = net::kNoNode;
+  TimeNs start = 0;
+  TimeNs stop = 0;
+
+  bool active() const { return stop > start; }
+  bool covers(net::NodeId n, TimeNs t) const {
+    return active() && (node == net::kNoNode || node == n) && t >= start &&
+           t < stop;
+  }
+};
+
+struct FaultPlan {
+  std::vector<LossModel> losses;
+  std::vector<LinkOutage> outages;
+  std::vector<BabblingSource> babblers;
+  std::vector<SyncOutage> syncOutages;
+
+  /// True when no component can ever fire (the Network skips building an
+  /// injector entirely, keeping fault-free runs bit-identical).
+  bool empty() const;
+};
+
+/// Evaluates a FaultPlan against one simulation run.  All random draws
+/// come from per-link generators seeded by splitmix64 derivation from the
+/// run seed, and draws happen only for links with an active loss model —
+/// in the single-threaded event kernel this makes every verdict a pure
+/// function of (seed, plan, frame sequence).
+class FaultInjector {
+ public:
+  FaultInjector(const net::Topology& topo, const FaultPlan& plan,
+                std::uint64_t seed);
+
+  /// Loss verdict for a frame whose last bit leaves `link` at `now`.
+  /// Advances the link's Gilbert-Elliott state; std::nullopt = survives.
+  std::optional<DropCause> lossAt(net::LinkId link, TimeNs now);
+
+  /// True while `link` (either direction of its cable) is cut at `t`.
+  bool linkDown(net::LinkId link, TimeNs t) const;
+
+  /// True when 802.1AS correction on `node` is suppressed at `t`.
+  bool syncSuppressed(net::NodeId node, TimeNs t) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  struct LinkState {
+    LossModel model;   // resolved per-link model (inactive by default)
+    bool bad = false;  // Gilbert-Elliott state
+  };
+
+  FaultPlan plan_;
+  std::vector<LinkState> links_;
+  std::vector<Rng> linkRngs_;                        // parallel to links_
+  std::vector<std::vector<LinkOutage>> outagesOf_;   // per directed link
+};
+
+}  // namespace etsn::sim

@@ -23,4 +23,11 @@ struct Frame {
   int hop = 0;         // current index into the spec's route
 };
 
+/// Why the fault layer killed a frame (loss attribution in the Recorder).
+enum class DropCause {
+  RandomLoss,  // independent per-frame loss draw
+  BurstLoss,   // Gilbert-Elliott bad-state loss
+  LinkDown,    // transmitted into (or cut by) a link outage
+};
+
 }  // namespace etsn::sim

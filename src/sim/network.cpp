@@ -20,6 +20,13 @@ int maxSpecId(const sched::NetworkProgram& p) {
 Network::Network(const net::Topology& topo,
                  const sched::NetworkProgram& program, const SimConfig& config)
     : topo_(topo), program_(program), config_(config), rng_(config.seed) {
+  // Fault layer: only built when the plan can actually fire, so fault-free
+  // runs take exactly the code paths (and RNG draws) they always did.
+  if (!config_.faults.empty()) {
+    faults_ = std::make_unique<FaultInjector>(topo_, config_.faults,
+                                              config_.seed);
+  }
+
   // Clocks: perfect by default, or drifting with periodic sync.
   clocks_.reserve(static_cast<std::size_t>(topo_.numNodes()));
   for (int n = 0; n < topo_.numNodes(); ++n) {
@@ -45,13 +52,26 @@ Network::Network(const net::Topology& topo,
         sim_, link, gcl, &clocks_[static_cast<std::size_t>(link.from)],
         [this, l](const Frame& f, TimeNs txEnd) {
           if (config_.trace) config_.trace({f, l, txEnd});
+          if (faults_ != nullptr) {
+            // Cut at link: an outage that started mid-transmission kills
+            // the frame; otherwise the loss models draw a verdict.
+            if (faults_->linkDown(l, txEnd)) {
+              recorder_->onFrameDropped(f, DropCause::LinkDown);
+              return;
+            }
+            if (const auto cause = faults_->lossAt(l, txEnd)) {
+              recorder_->onFrameDropped(f, *cause);
+              return;
+            }
+          }
           // Last bit on the wire at txEnd; full reception after the
           // propagation delay (store-and-forward).
           const TimeNs rx = txEnd + topo_.link(l).propagationDelay;
           Frame copy = f;
           sim_.at(rx, EventClass::Enqueue,
                   [this, copy, l]() { onFrameReceived(copy, l); });
-        });
+        },
+        faults_.get());
     for (const sched::CbsConfig& cbs : program_.cbs) {
       port->configureCbs(cbs.queue, cbs.idleSlopeFraction);
     }
@@ -76,7 +96,8 @@ void Network::emitMessage(std::int32_t specId, const std::vector<int>& payloads,
   ETSN_CHECK(!route.empty());
   const std::int64_t instance =
       nextInstanceId_[static_cast<std::size_t>(specId)]++;
-  recorder_->onMessageCreated(specId);
+  recorder_->onMessageCreated(specId, instance,
+                              static_cast<int>(payloads.size()));
   const TimeNs created = sim_.now();
   for (std::size_t i = 0; i < payloads.size(); ++i) {
     Frame f;
@@ -124,7 +145,8 @@ void Network::scheduleTalkerInstance(const sched::TalkerConfig& t,
   sim_.at(globalFire, EventClass::Enqueue, [this, &t, instance]() {
     const std::int64_t msgInstance =
         nextInstanceId_[static_cast<std::size_t>(t.specId)]++;
-    recorder_->onMessageCreated(t.specId);
+    recorder_->onMessageCreated(t.specId, msgInstance,
+                                static_cast<int>(t.framePayloads.size()));
     const TimeNs created = sim_.now();
     const Clock& clk =
         clocks_[static_cast<std::size_t>(topo_.link(t.route[0]).from)];
@@ -196,13 +218,57 @@ void Network::startPtp() {
 }
 
 void Network::ptpSync(int node) {
-  const TimeNs residual = static_cast<TimeNs>(
-      rng_.uniformReal(-static_cast<double>(config_.syncResidualMax),
-                       static_cast<double>(config_.syncResidualMax)));
-  clocks_[static_cast<std::size_t>(node)].synchronize(sim_.now(), residual);
+  if (faults_ == nullptr || !faults_->syncSuppressed(node, sim_.now())) {
+    const TimeNs residual = static_cast<TimeNs>(
+        rng_.uniformReal(-static_cast<double>(config_.syncResidualMax),
+                         static_cast<double>(config_.syncResidualMax)));
+    clocks_[static_cast<std::size_t>(node)].synchronize(sim_.now(), residual);
+  }  // else: the correction is lost and drift keeps accumulating
   if (sim_.now() + config_.syncInterval <= config_.duration) {
     sim_.after(config_.syncInterval, EventClass::Control,
                [this, node]() { ptpSync(node); });
+  }
+}
+
+void Network::scheduleBabble(const BabblingSource& b, TimeNs at) {
+  if (at >= b.stop || at > config_.duration) return;
+  sim_.at(at, EventClass::Enqueue, [this, b, at]() {
+    const sched::EctSourceConfig& src =
+        program_.ectSources[static_cast<std::size_t>(b.ectIndex)];
+    emitMessage(src.specId, src.framePayloads, src.priority, src.route);
+    scheduleBabble(b, at + b.interval);
+  });
+}
+
+void Network::startFaults() {
+  if (faults_ == nullptr) return;
+  for (const LinkOutage& o : config_.faults.outages) {
+    if (!o.active()) continue;
+    if (o.downAt <= config_.duration && config_.onLinkDown) {
+      sim_.at(o.downAt, EventClass::Control, [this, o]() {
+        config_.onLinkDown(o.link, sim_.now());
+      });
+    }
+    if (o.upAt > o.downAt && o.upAt <= config_.duration) {
+      sim_.at(o.upAt, EventClass::Control, [this, o]() {
+        // Carrier back: resume transmission selection on both directions.
+        ports_[static_cast<std::size_t>(o.link)]->kick();
+        const net::LinkId rev = topo_.link(o.link).reverse;
+        if (rev != net::kNoLink) {
+          ports_[static_cast<std::size_t>(rev)]->kick();
+        }
+        if (config_.onLinkUp) config_.onLinkUp(o.link, sim_.now());
+      });
+    }
+  }
+  for (const BabblingSource& b : config_.faults.babblers) {
+    if (!b.active()) continue;
+    ETSN_CHECK_MSG(b.ectIndex >= 0 &&
+                       static_cast<std::size_t>(b.ectIndex) <
+                           program_.ectSources.size(),
+                   "babbling source references unknown ECT source "
+                       << b.ectIndex);
+    scheduleBabble(b, b.start);
   }
 }
 
@@ -218,7 +284,9 @@ void Network::run() {
     }
   }
   startPtp();
+  startFaults();
   sim_.run(config_.duration);
+  recorder_->finalize();
 }
 
 }  // namespace etsn::sim

@@ -13,6 +13,7 @@
 #include "net/topology.h"
 #include "sched/program.h"
 #include "sim/clock.h"
+#include "sim/faults.h"
 #include "sim/kernel.h"
 #include "sim/port.h"
 #include "sim/recorder.h"
@@ -46,6 +47,14 @@ struct SimConfig {
   /// Do not generate any events (the "without ECT" runs of §VI-C2); the
   /// schedule, GCLs and reservations stay exactly the same.
   bool suppressEctTraffic = false;
+  /// Fault injection (see sim/faults.h).  An empty or all-zero plan keeps
+  /// the run byte-identical to a fault-free one.
+  FaultPlan faults;
+  /// Notifications at link-outage boundaries (Control events), e.g. for a
+  /// CNC to trigger graceful-degradation rescheduling.  The callback
+  /// receives the outage's primary link id (one direction of the cable).
+  std::function<void(net::LinkId, TimeNs)> onLinkDown;
+  std::function<void(net::LinkId, TimeNs)> onLinkUp;
 };
 
 class Network {
@@ -61,6 +70,8 @@ class Network {
   const EgressPort& port(net::LinkId l) const {
     return *ports_[static_cast<std::size_t>(l)];
   }
+  /// Null on fault-free runs.
+  const FaultInjector* faultInjector() const { return faults_.get(); }
 
  private:
   void startTalker(const sched::TalkerConfig& t);
@@ -68,6 +79,8 @@ class Network {
                               std::int64_t instance);
   void startEctSource(std::size_t index);
   void scheduleNextEvent(std::size_t index, TimeNs after);
+  void startFaults();
+  void scheduleBabble(const BabblingSource& b, TimeNs at);
   void emitMessage(std::int32_t specId, const std::vector<int>& payloads,
                    int priority, const std::vector<net::LinkId>& route);
   void onFrameReceived(Frame f, net::LinkId link);
@@ -79,6 +92,7 @@ class Network {
   SimConfig config_;
   Simulator sim_;
   Rng rng_;
+  std::unique_ptr<FaultInjector> faults_;  // null on fault-free runs
   std::vector<Clock> clocks_;  // per node
   std::vector<std::unique_ptr<EgressPort>> ports_;  // per directed link
   std::unique_ptr<Recorder> recorder_;

@@ -8,11 +8,12 @@ namespace etsn::sim {
 
 EgressPort::EgressPort(Simulator& sim, const net::Link& link,
                        const net::Gcl* gcl, const Clock* clock,
-                       TxCompleteFn onTxComplete)
+                       TxCompleteFn onTxComplete, const FaultInjector* faults)
     : sim_(sim),
       link_(link),
       gcl_(gcl),
       clock_(clock),
+      faults_(faults),
       onTxComplete_(std::move(onTxComplete)) {}
 
 void EgressPort::configureCbs(int queue, double idleSlopeFraction) {
@@ -65,6 +66,11 @@ bool EgressPort::queueEligible(int q, TimeNs localNow, TimeNs globalNow) {
   return true;
 }
 
+void EgressPort::kick() {
+  syncCbs(sim_.now());
+  service();
+}
+
 void EgressPort::service() {
   const TimeNs now = sim_.now();
   if (busyUntil_ > now) return;  // reselected when the transmission ends
@@ -72,6 +78,11 @@ void EgressPort::service() {
     // A transmission just completed.
     sendingQueue_ = -1;
     syncCbs(now);
+  }
+  if (faults_ != nullptr && faults_->linkDown(link_.id, now)) {
+    // Carrier lost: frames wait in their queues; the network layer kicks
+    // the port when the outage ends.
+    return;
   }
   const TimeNs localNow = clock_->localTime(now);
 

@@ -16,6 +16,7 @@
 #include "net/topology.h"
 #include "sim/cbs.h"
 #include "sim/clock.h"
+#include "sim/faults.h"
 #include "sim/frame.h"
 #include "sim/kernel.h"
 
@@ -34,13 +35,20 @@ class EgressPort {
   /// port; the network layer adds propagation delay and delivers.
   using TxCompleteFn = std::function<void(const Frame&, TimeNs)>;
 
+  /// `faults` may be null (no fault layer); when set, the port pauses
+  /// transmission selection while its link is cut (frames wait in their
+  /// queues) and relies on kick() at the outage end to resume.
   EgressPort(Simulator& sim, const net::Link& link, const net::Gcl* gcl,
-             const Clock* clock, TxCompleteFn onTxComplete);
+             const Clock* clock, TxCompleteFn onTxComplete,
+             const FaultInjector* faults = nullptr);
 
   void configureCbs(int queue, double idleSlopeFraction);
 
   /// Enqueue at the current simulation time.
   void enqueue(Frame f);
+
+  /// Re-run transmission selection now (link-up notification).
+  void kick();
 
   TimeNs txTimeFor(const Frame& f) const;
 
@@ -57,6 +65,7 @@ class EgressPort {
   const net::Link& link_;
   const net::Gcl* gcl_;     // may be uninstalled (all gates open)
   const Clock* clock_;      // owning node's clock
+  const FaultInjector* faults_;  // may be null (fault-free run)
   TxCompleteFn onTxComplete_;
   std::array<std::deque<Frame>, net::kNumQueues> queues_;
   std::optional<CbsState> cbs_;

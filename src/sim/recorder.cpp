@@ -6,20 +6,70 @@
 
 namespace etsn::sim {
 
+void Recorder::onMessageCreated(std::int32_t specId, std::int64_t instanceId,
+                                int expectedFrames) {
+  ETSN_CHECK(specId >= 0 &&
+             static_cast<std::size_t>(specId) < records_.size());
+  ETSN_CHECK(expectedFrames > 0);
+  StreamRecord& r = records_[static_cast<std::size_t>(specId)];
+  ++r.messagesSent;
+  r.framesEmitted += expectedFrames;
+  Pending& p = pending_[{specId, instanceId}];
+  ETSN_CHECK_MSG(p.expected == 0, "duplicate message instance");
+  p.expected = expectedFrames;
+}
+
 void Recorder::onFrameDelivered(const Frame& f, TimeNs deliveredAt) {
   ETSN_CHECK(f.specId >= 0 &&
              static_cast<std::size_t>(f.specId) < records_.size());
-  Pending& p = pending_[{f.specId, f.instanceId}];
+  const auto key = std::make_pair(f.specId, f.instanceId);
+  const auto it = pending_.find(key);
+  ETSN_CHECK_MSG(it != pending_.end(), "delivery for unknown instance");
+  Pending& p = it->second;
   ++p.received;
   p.lastArrival = std::max(p.lastArrival, deliveredAt);
-  if (p.received < f.fragCount) return;
 
   StreamRecord& r = records_[static_cast<std::size_t>(f.specId)];
-  const TimeNs latency = p.lastArrival - f.created;
-  r.latencies.push_back(latency);
-  ++r.messagesDelivered;
-  if (r.deadline > 0 && latency > r.deadline) ++r.deadlineMisses;
-  pending_.erase({f.specId, f.instanceId});
+  ++r.framesDelivered;
+  if (p.received + p.dropped < p.expected) return;
+
+  if (p.dropped == 0) {
+    const TimeNs latency = p.lastArrival - f.created;
+    r.latencies.push_back(latency);
+    ++r.messagesDelivered;
+    if (r.deadline > 0 && latency > r.deadline) ++r.deadlineMisses;
+  }
+  // All frames accounted for (a message with drops was already counted
+  // in messagesLost at its first drop).
+  pending_.erase(it);
+}
+
+void Recorder::onFrameDropped(const Frame& f, DropCause cause) {
+  ETSN_CHECK(f.specId >= 0 &&
+             static_cast<std::size_t>(f.specId) < records_.size());
+  StreamRecord& r = records_[static_cast<std::size_t>(f.specId)];
+  if (cause == DropCause::LinkDown) {
+    ++r.framesDroppedOutage;
+  } else {
+    ++r.framesDroppedLoss;
+  }
+  const auto key = std::make_pair(f.specId, f.instanceId);
+  const auto it = pending_.find(key);
+  ETSN_CHECK_MSG(it != pending_.end(), "drop for unknown instance");
+  Pending& p = it->second;
+  if (p.dropped == 0) ++r.messagesLost;  // can never complete now
+  ++p.dropped;
+  if (p.received + p.dropped == p.expected) pending_.erase(it);
+}
+
+void Recorder::finalize() {
+  ETSN_CHECK_MSG(!finalized_, "Recorder::finalize called twice");
+  finalized_ = true;
+  for (const auto& [key, p] : pending_) {
+    StreamRecord& r = records_[static_cast<std::size_t>(key.first)];
+    if (p.dropped == 0) ++r.messagesUnterminated;  // else already lost
+    r.framesInFlight += p.expected - p.received - p.dropped;
+  }
 }
 
 }  // namespace etsn::sim

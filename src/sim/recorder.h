@@ -4,6 +4,14 @@
 // paper's latency metric: delivery of the last frame minus creation of the
 // first (for ECT, creation is the event occurrence).  Timestamps are plain
 // simulator nanoseconds, exceeding the testbed's 10 ns accuracy.
+//
+// With the fault layer active the recorder also closes the loss books:
+// every emitted frame ends up delivered, dropped (attributed to random
+// loss, burst loss, or a link outage) or — after finalize() — in flight
+// at the end of the run, so
+//   framesEmitted == framesDelivered + framesDropped* + framesInFlight
+// holds exactly, and at message level
+//   messagesSent == messagesDelivered + messagesLost + messagesUnterminated.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +29,22 @@ struct StreamRecord {
   std::int64_t messagesDelivered = 0;
   std::int64_t deadlineMisses = 0;
   TimeNs deadline = 0;  // 0 = no deadline accounting
+
+  // Survivability accounting (fault layer).
+  std::int64_t messagesLost = 0;          // >= 1 frame dropped
+  std::int64_t messagesUnterminated = 0;  // in flight at run end (finalize)
+  std::int64_t framesEmitted = 0;
+  std::int64_t framesDelivered = 0;
+  std::int64_t framesDroppedLoss = 0;    // RandomLoss + BurstLoss
+  std::int64_t framesDroppedOutage = 0;  // LinkDown
+  std::int64_t framesInFlight = 0;       // set by finalize()
+
+  /// Fraction of sent messages fully delivered (1.0 with nothing sent).
+  double deliveryRatio() const {
+    return messagesSent > 0 ? static_cast<double>(messagesDelivered) /
+                                  static_cast<double>(messagesSent)
+                            : 1.0;
+  }
 };
 
 class Recorder {
@@ -31,12 +55,20 @@ class Recorder {
     records_[static_cast<std::size_t>(specId)].deadline = deadline;
   }
 
-  void onMessageCreated(std::int32_t specId) {
-    ++records_[static_cast<std::size_t>(specId)].messagesSent;
-  }
+  /// A message instance of `expectedFrames` frames enters the network.
+  void onMessageCreated(std::int32_t specId, std::int64_t instanceId,
+                        int expectedFrames);
 
   /// A frame fully received at its destination.
   void onFrameDelivered(const Frame& f, TimeNs deliveredAt);
+
+  /// A frame killed by the fault layer (loss attribution).
+  void onFrameDropped(const Frame& f, DropCause cause);
+
+  /// Close the books at the end of the run: instances still pending are
+  /// counted as unterminated (message level, unless already lost) and
+  /// their outstanding frames as in flight.  Call exactly once.
+  void finalize();
 
   const StreamRecord& record(std::int32_t specId) const {
     return records_[static_cast<std::size_t>(specId)];
@@ -44,18 +76,21 @@ class Recorder {
   int numSpecs() const { return static_cast<int>(records_.size()); }
 
   /// Messages still in flight (unreassembled) — should be ~0 at the end of
-  /// a long run.
+  /// a long fault-free run.
   std::int64_t incompleteMessages() const {
     return static_cast<std::int64_t>(pending_.size());
   }
 
  private:
   struct Pending {
+    int expected = 0;
     int received = 0;
+    int dropped = 0;
     TimeNs lastArrival = 0;
   };
   std::vector<StreamRecord> records_;
   std::map<std::pair<std::int32_t, std::int64_t>, Pending> pending_;
+  bool finalized_ = false;
 };
 
 }  // namespace etsn::sim

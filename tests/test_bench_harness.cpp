@@ -1,0 +1,111 @@
+// The bench harness must reject malformed command lines loudly (a silent
+// strtoull truncation once turned `--seed 10x` into seed 10) — these tests
+// drive Args::tryParse, the exit-free core of Args::parse.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace etsn::bench {
+namespace {
+
+/// argv builder: prepends the program name and hands mutable storage to
+/// tryParse the way main() would.
+bool tryParse(std::vector<std::string> tokens, Args* out, std::string* err) {
+  tokens.insert(tokens.begin(), "bench");
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& t : tokens) argv.push_back(t.data());
+  return Args::tryParse(static_cast<int>(argv.size()), argv.data(), out, err);
+}
+
+TEST(BenchHarness, DefaultsAreQuick) {
+  Args a;
+  std::string err;
+  ASSERT_TRUE(tryParse({}, &a, &err)) << err;
+  EXPECT_FALSE(a.full);
+  EXPECT_FALSE(a.help);
+  EXPECT_EQ(a.seed, 7u);
+  EXPECT_EQ(a.duration, seconds(10));
+  EXPECT_EQ(a.threads, 0);
+  EXPECT_TRUE(a.jsonPath.empty());
+}
+
+TEST(BenchHarness, ParsesEveryFlag) {
+  Args a;
+  std::string err;
+  ASSERT_TRUE(tryParse({"--full", "--seed", "42", "--duration", "3",
+                        "--threads", "4", "--json", "out.json"},
+                       &a, &err))
+      << err;
+  EXPECT_TRUE(a.full);
+  EXPECT_EQ(a.seed, 42u);
+  EXPECT_EQ(a.duration, seconds(3));
+  EXPECT_EQ(a.threads, 4);
+  EXPECT_EQ(a.jsonPath, "out.json");
+}
+
+TEST(BenchHarness, LastOfQuickFullWins) {
+  Args a;
+  std::string err;
+  ASSERT_TRUE(tryParse({"--full", "--quick"}, &a, &err)) << err;
+  EXPECT_FALSE(a.full);
+}
+
+TEST(BenchHarness, HelpFlagIsRecognised) {
+  Args a;
+  std::string err;
+  ASSERT_TRUE(tryParse({"--help"}, &a, &err)) << err;
+  EXPECT_TRUE(a.help);
+  EXPECT_NE(std::string(Args::usage()).find("--full"), std::string::npos);
+}
+
+TEST(BenchHarness, UnknownFlagFails) {
+  Args a;
+  std::string err;
+  EXPECT_FALSE(tryParse({"--sede", "42"}, &a, &err));
+  EXPECT_NE(err.find("unknown flag '--sede'"), std::string::npos);
+}
+
+TEST(BenchHarness, MissingValueFails) {
+  Args a;
+  std::string err;
+  EXPECT_FALSE(tryParse({"--seed"}, &a, &err));
+  EXPECT_NE(err.find("--seed requires a value"), std::string::npos);
+  EXPECT_FALSE(tryParse({"--json"}, &a, &err));
+  EXPECT_NE(err.find("--json requires a value"), std::string::npos);
+}
+
+TEST(BenchHarness, MalformedNumbersFail) {
+  Args a;
+  std::string err;
+  EXPECT_FALSE(tryParse({"--seed", "10x"}, &a, &err));
+  EXPECT_NE(err.find("not a valid number: '10x'"), std::string::npos);
+  EXPECT_FALSE(tryParse({"--seed", "-3"}, &a, &err));
+  EXPECT_FALSE(tryParse({"--seed", ""}, &a, &err));
+  EXPECT_FALSE(tryParse({"--duration", "abc"}, &a, &err));
+  EXPECT_FALSE(tryParse({"--duration", "0"}, &a, &err));   // must be > 0
+  EXPECT_FALSE(tryParse({"--duration", "-1"}, &a, &err));
+  EXPECT_FALSE(tryParse({"--threads", "-1"}, &a, &err));   // 0 is allowed
+  EXPECT_TRUE(tryParse({"--threads", "0"}, &a, &err)) << err;
+}
+
+TEST(BenchHarness, StrictParsersRejectJunkAndOverflow) {
+  std::uint64_t u = 0;
+  EXPECT_TRUE(parseUint64("18446744073709551615", &u));  // UINT64_MAX
+  EXPECT_EQ(u, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(parseUint64("18446744073709551616", &u));  // overflow
+  EXPECT_FALSE(parseUint64("1 2", &u));
+  EXPECT_FALSE(parseUint64(nullptr, &u));
+
+  std::int64_t i = 0;
+  EXPECT_TRUE(parseInt64("-5", &i));
+  EXPECT_EQ(i, -5);
+  EXPECT_FALSE(parseInt64("9223372036854775808", &i));  // overflow
+  EXPECT_FALSE(parseInt64("5.0", &i));
+}
+
+}  // namespace
+}  // namespace etsn::bench

@@ -1,7 +1,8 @@
-// Tests for online (incremental) TCT admission.
+// Tests for online (incremental) TCT admission and link-failure repair.
 #include <gtest/gtest.h>
 
 #include "sched/incremental.h"
+#include "sched/scheduler.h"
 #include "sched/validate.h"
 #include "workload/iec60802.h"
 
@@ -138,6 +139,135 @@ TEST(Incremental, EctAdmissionRejected) {
   EXPECT_THROW(
       inc.admit(workload::makeEct("e1", 1, 3, milliseconds(16), 1500)),
       ConfigError);
+}
+
+// A switch ring (devices 0..3, switches 4..6): killing one trunk leaves
+// an alternate path for everything, so repair can reroute instead of drop.
+net::Topology ringTopology() {
+  net::Topology t;
+  const net::NodeId d1 = t.addDevice("D1");
+  const net::NodeId d2 = t.addDevice("D2");
+  const net::NodeId d3 = t.addDevice("D3");
+  const net::NodeId d4 = t.addDevice("D4");
+  const net::NodeId sw1 = t.addSwitch("SW1");
+  const net::NodeId sw2 = t.addSwitch("SW2");
+  const net::NodeId sw3 = t.addSwitch("SW3");
+  t.connect(d1, sw1);
+  t.connect(d2, sw1);
+  t.connect(d3, sw2);
+  t.connect(d4, sw3);
+  t.connect(sw1, sw2);
+  t.connect(sw2, sw3);
+  t.connect(sw1, sw3);
+  return t;
+}
+
+TEST(RepairLinkDown, ReroutesAffectedAndKeepsOthersBitForBit) {
+  const net::Topology t = ringTopology();
+  // telemetry (spec 0) avoids the SW1-SW3 trunk; control (1) and the ECT
+  // stream (2) take it as their shortest path.
+  std::vector<net::StreamSpec> specs = {
+      tct("telemetry", 0, 2, milliseconds(4), 1000),
+      tct("control", 1, 3, milliseconds(4), 500),
+      workload::makeEct("estop", 0, 3, milliseconds(16), 200)};
+  ScheduleOptions options;
+  options.config = config();
+  const MethodSchedule base = buildSchedule(t, specs, options);
+  ASSERT_TRUE(base.schedule.info.feasible);
+
+  const net::LinkId trunk = t.linkBetween(4, 6);
+  const LinkDownRepair repair = repairLinkDown(t, base.schedule, trunk);
+  ASSERT_TRUE(repair.schedule.info.feasible);
+  EXPECT_TRUE(validate(t, repair.schedule).empty());
+
+  EXPECT_EQ(repair.droppedSpecs.size(), 0u);
+  ASSERT_EQ(repair.reroutedSpecs.size(), 2u);
+  EXPECT_EQ(repair.reroutedSpecs[0], 1);
+  EXPECT_EQ(repair.reroutedSpecs[1], 2);
+  EXPECT_GE(repair.untouchedStreams, 1);
+  EXPECT_GE(repair.repairedStreams, 2);
+  EXPECT_FALSE(repair.degraded);
+  EXPECT_EQ(repair.schedule.info.engine, "smt-repair");
+
+  // No repaired stream may touch the dead cable (either direction).
+  const net::LinkId trunkRev = t.link(trunk).reverse;
+  for (const ExpandedStream& st : repair.schedule.streams) {
+    for (const net::LinkId l : st.path) {
+      EXPECT_NE(l, trunk);
+      EXPECT_NE(l, trunkRev);
+    }
+  }
+
+  // The untouched spec keeps path AND slots bit-for-bit.
+  ASSERT_EQ(repair.schedule.specToStreams[0].size(),
+            base.schedule.specToStreams[0].size());
+  const StreamId b = base.schedule.specToStreams[0][0];
+  const StreamId r = repair.schedule.specToStreams[0][0];
+  const ExpandedStream& bs = base.schedule.streams[static_cast<std::size_t>(b)];
+  const ExpandedStream& rs =
+      repair.schedule.streams[static_cast<std::size_t>(r)];
+  ASSERT_EQ(bs.path, rs.path);
+  for (std::size_t link = 0; link < bs.path.size(); ++link) {
+    const auto before = base.schedule.slotsOf(b, static_cast<int>(link));
+    const auto after = repair.schedule.slotsOf(r, static_cast<int>(link));
+    ASSERT_EQ(before.size(), after.size()) << "link " << link;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i].start, after[i].start)
+          << "slot " << i << " on link " << link << " moved";
+      EXPECT_EQ(before[i].duration, after[i].duration);
+    }
+  }
+}
+
+TEST(RepairLinkDown, UnreachableSpecIsDroppedOthersSurvive) {
+  // The testbed topology has a single trunk: cutting it strands every
+  // cross-switch stream, while same-switch streams keep their slots.
+  const net::Topology t = net::makeTestbedTopology();
+  std::vector<net::StreamSpec> specs = {
+      tct("local", 0, 1, milliseconds(4), 1000),   // D1 -> D2, same switch
+      tct("cross", 0, 2, milliseconds(4), 1000)};  // D1 -> D3, via trunk
+  ScheduleOptions options;
+  options.config = config();
+  const MethodSchedule base = buildSchedule(t, specs, options);
+  ASSERT_TRUE(base.schedule.info.feasible);
+
+  const net::LinkId trunk = t.linkBetween(4, 5);
+  const LinkDownRepair repair = repairLinkDown(t, base.schedule, trunk);
+  ASSERT_TRUE(repair.schedule.info.feasible);
+  EXPECT_TRUE(validate(t, repair.schedule).empty());
+
+  ASSERT_EQ(repair.droppedSpecs.size(), 1u);
+  EXPECT_EQ(repair.droppedSpecs[0], 1);
+  EXPECT_TRUE(repair.reroutedSpecs.empty());
+  EXPECT_TRUE(repair.schedule.specToStreams[1].empty());
+  ASSERT_EQ(repair.schedule.specToStreams[0].size(), 1u);
+
+  const StreamId b = base.schedule.specToStreams[0][0];
+  const StreamId r = repair.schedule.specToStreams[0][0];
+  const auto before = base.schedule.slotsOf(b, 0);
+  const auto after = repair.schedule.slotsOf(r, 0);
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].start, after[i].start);
+  }
+}
+
+TEST(RepairLinkDown, RepairedScheduleAcceptsFurtherAdmissions) {
+  // Degraded is not dead: the repaired schedule still validates and a
+  // fresh build on the pruned stream set matches its feasibility.
+  const net::Topology t = ringTopology();
+  std::vector<net::StreamSpec> specs = {
+      tct("a", 0, 2, milliseconds(4), 1000, true),
+      workload::makeEct("e", 1, 3, milliseconds(16), 1500)};
+  ScheduleOptions options;
+  options.config = config();
+  const MethodSchedule base = buildSchedule(t, specs, options);
+  ASSERT_TRUE(base.schedule.info.feasible);
+  const net::LinkId trunk = t.linkBetween(5, 6);  // SW2-SW3
+  const LinkDownRepair repair = repairLinkDown(t, base.schedule, trunk);
+  ASSERT_TRUE(repair.schedule.info.feasible);
+  EXPECT_TRUE(validate(t, repair.schedule).empty());
+  EXPECT_TRUE(repair.droppedSpecs.empty());
 }
 
 }  // namespace

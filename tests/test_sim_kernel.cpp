@@ -168,7 +168,7 @@ TEST(Recorder, ReassemblesFragmentsAcrossArrivalOrder) {
     f.created = created;
     return f;
   };
-  rec.onMessageCreated(0);
+  rec.onMessageCreated(0, 0, 3);
   // Fragments delivered out of order; latency = last arrival - created.
   rec.onFrameDelivered(frag(0, 0, 1, 3, microseconds(10)), microseconds(400));
   rec.onFrameDelivered(frag(0, 0, 0, 3, microseconds(10)), microseconds(200));
@@ -190,12 +190,12 @@ TEST(Recorder, CountsDeadlineMisses) {
   f.fragIndex = 0;
   f.fragCount = 1;
   f.created = 0;
-  rec.onMessageCreated(0);
+  rec.onMessageCreated(0, 7, 1);
   rec.onFrameDelivered(f, microseconds(150));  // 150 > 100
   EXPECT_EQ(rec.record(0).deadlineMisses, 1);
   // Without a deadline, nothing is counted.
   Recorder rec2(1);
-  rec2.onMessageCreated(0);
+  rec2.onMessageCreated(0, 7, 1);
   rec2.onFrameDelivered(f, microseconds(150));
   EXPECT_EQ(rec2.record(0).deadlineMisses, 0);
 }
@@ -211,8 +211,8 @@ TEST(Recorder, InterleavedInstancesSeparated) {
     f.created = 0;
     return f;
   };
-  rec.onMessageCreated(0);
-  rec.onMessageCreated(0);
+  rec.onMessageCreated(0, 0, 2);
+  rec.onMessageCreated(0, 1, 2);
   rec.onFrameDelivered(frag(0, 0), microseconds(100));
   rec.onFrameDelivered(frag(1, 0), microseconds(110));
   rec.onFrameDelivered(frag(1, 1), microseconds(210));

@@ -143,6 +143,54 @@ TEST(SimNetwork, RecorderCountsConsistent) {
 namespace etsn {
 namespace {
 
+// Every emitted frame must be accounted for: delivered, dropped (with a
+// cause) or still in flight when the run ends.  A lossy link plus a
+// mid-run outage exercises all four buckets at once.
+TEST(SimNetwork, FrameAccountingClosesUnderFaults) {
+  Experiment ex;
+  ex.topo = net::makeTestbedTopology();
+  net::StreamSpec s;
+  s.name = "s";
+  s.src = 0;
+  s.dst = 2;
+  s.period = milliseconds(4);
+  s.maxLatency = milliseconds(4);
+  s.payloadBytes = 3000;  // 2 frames: losing one leaves the other dangling
+  ex.specs = {s};
+  ex.specs.push_back(workload::makeEct("e", 1, 3, milliseconds(16), 1500));
+  ex.simConfig.duration = seconds(1);
+
+  sim::LossModel loss;
+  loss.dropProbability = 0.05;
+  ex.simConfig.faults.losses.push_back(loss);
+  sim::LinkOutage outage;
+  outage.link = 8;  // SW1 -> SW2 trunk
+  outage.downAt = milliseconds(400);
+  outage.upAt = milliseconds(450);
+  ex.simConfig.faults.outages.push_back(outage);
+
+  const sched::MethodSchedule ms =
+      sched::buildSchedule(ex.topo, ex.specs, ex.options);
+  ASSERT_TRUE(ms.schedule.info.feasible);
+  const sched::NetworkProgram program = sched::compileProgram(ex.topo, ms);
+  sim::Network network(ex.topo, program, ex.simConfig);
+  network.run();
+
+  bool anyLoss = false;
+  for (std::int32_t i = 0; i < 2; ++i) {
+    const sim::StreamRecord& r = network.recorder().record(i);
+    EXPECT_GT(r.framesEmitted, 0) << "stream " << i;
+    EXPECT_EQ(r.framesEmitted, r.framesDelivered + r.framesDroppedLoss +
+                                   r.framesDroppedOutage + r.framesInFlight)
+        << "stream " << i;
+    EXPECT_EQ(r.messagesSent,
+              r.messagesDelivered + r.messagesLost + r.messagesUnterminated)
+        << "stream " << i;
+    anyLoss = anyLoss || r.framesDroppedLoss > 0;
+  }
+  EXPECT_TRUE(anyLoss);
+}
+
 TEST(SimNetwork, TraceHookSeesEveryTransmission) {
   Experiment ex;
   ex.topo = net::makeTestbedTopology();
