@@ -5,9 +5,12 @@
 //   * independent per-frame loss on every link at increasing rates
 //     (plus one Gilbert-Elliott burst-loss cell per rate in --full);
 //   * an outage of the SW1-SW2 trunk cable of increasing length, starting
-//     mid-run.
+//     mid-run;
+//   * a babbling ECT source of increasing intensity (decreasing emission
+//     interval) with NO ingress policing — the baseline bench_police_sweep
+//     contrasts against.
 // Reported per cell: delivery ratio of the ECT stream and of the TCT
-// aggregate, with loss attribution (random/burst vs outage).
+// aggregate, TCT deadline misses, and loss attribution.
 #include "harness.h"
 
 namespace {
@@ -40,9 +43,11 @@ void printCell(const char* label, const ExperimentResult& r) {
                 r.solve.engine.c_str());
     return;
   }
-  std::printf("  %-20s ect=%.6f  tct=%.6f  dropped(loss=%lld outage=%lld)\n",
+  std::printf("  %-20s ect=%.6f  tct=%.6f  tct_miss=%-5lld"
+              "  dropped(loss=%lld outage=%lld)\n",
               label, classRatio(r, net::TrafficClass::EventTriggered),
               classRatio(r, net::TrafficClass::TimeTriggered),
+              bench::totalTctMisses(r),
               static_cast<long long>(totalDropped(r, false)),
               static_cast<long long>(totalDropped(r, true)));
 }
@@ -120,22 +125,48 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Babbler intensity: the declared-rate "ect" source additionally fires
+  // every `interval`; smaller interval = harder violation of its T.
+  const std::vector<TimeNs> babbleIntervals =
+      args.full ? std::vector<TimeNs>{microseconds(200), microseconds(50),
+                                      microseconds(20), microseconds(10)}
+                : std::vector<TimeNs>{microseconds(100), microseconds(10)};
+  for (const TimeNs interval : babbleIntervals) {
+    for (const sched::Method m : methods) {
+      char label[64];
+      std::snprintf(label, sizeof label, "babble%lldus/%s",
+                    static_cast<long long>(interval / microseconds(1)),
+                    sched::methodName(m));
+      c.add(label, [args, m, interval, load](std::uint64_t taskSeed) {
+        Experiment ex = bench::testbedExperiment(args, m, load);
+        ex.simConfig.seed = taskSeed;
+        sim::BabblingSource b;  // the sole ECT source goes rogue mid-run
+        b.ectIndex = 0;
+        b.start = args.duration / 10;
+        b.stop = args.duration;
+        b.interval = interval;
+        ex.simConfig.faults.babblers.push_back(b);
+        return ex;
+      });
+    }
+  }
+
   const CampaignResult r = bench::runBenchCampaign(std::move(c), args);
 
-  bench::printHeader("Fault sweep: delivery ratio under loss and outages");
+  bench::printHeader(
+      "Fault sweep: delivery ratio under loss, outages and babblers");
   std::printf("(testbed setting, load %.0f%%, duration %llds, seed %llu)\n",
               load * 100,
               static_cast<long long>(args.duration / seconds(1)),
               static_cast<unsigned long long>(args.seed));
-  std::size_t i = 0;
-  for (; i < r.tasks.size(); ++i) {
-    const CampaignTaskResult& t = r.tasks[i];
-    if (t.label.rfind("outage", 0) == 0) break;  // sweep boundary
-    printCell(t.label.c_str(), t.result);
-  }
-  std::printf("\n");
-  for (; i < r.tasks.size(); ++i) {
-    const CampaignTaskResult& t = r.tasks[i];
+  // Blank line between the loss, outage and babble sweeps.
+  const char* sections[] = {"outage", "babble"};
+  std::size_t next = 0;
+  for (const CampaignTaskResult& t : r.tasks) {
+    if (next < 2 && t.label.rfind(sections[next], 0) == 0) {
+      std::printf("\n");
+      ++next;
+    }
     printCell(t.label.c_str(), t.result);
   }
   return 0;

@@ -81,6 +81,10 @@ void appendStream(std::string& out, const StreamResult& s,
   appendKv(out, "unterminated", s.unterminated);
   appendKv(out, "dropped_loss", s.framesDroppedLoss);
   appendKv(out, "dropped_outage", s.framesDroppedOutage);
+  appendKv(out, "dropped_policer", s.framesDroppedPolicer);
+  appendKv(out, "dropped_overflow", s.framesDroppedOverflow);
+  appendKv(out, "policer_violations", s.policerViolations);
+  appendKv(out, "blocked_intervals", s.blockedIntervals);
   appendKv(out, "delivery_ratio", s.deliveryRatio);
   out += "\"latency\":";
   appendSummary(out, s.latency);

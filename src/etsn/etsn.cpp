@@ -26,7 +26,15 @@ ExperimentResult runExperiment(const Experiment& ex) {
   }
 
   const sched::NetworkProgram program = sched::compileProgram(ex.topo, ms);
-  sim::Network network(ex.topo, program, ex.simConfig);
+  sim::SimConfig simConfig = ex.simConfig;
+  if (ex.enablePolicing) {
+    simConfig.police.enabled = true;
+    simConfig.police.filters = net::compileFilters(ex.topo, ms,
+                                                   ex.psfpOptions);
+  }
+  // Malformed fault plans are rejected with an InvariantError by the
+  // Network constructor (FaultPlan::validate).
+  sim::Network network(ex.topo, program, simConfig);
   network.run();
 
   const sim::Recorder& rec = network.recorder();
@@ -46,6 +54,10 @@ ExperimentResult runExperiment(const Experiment& ex) {
       r.unterminated = sr.messagesUnterminated;
       r.framesDroppedLoss = sr.framesDroppedLoss;
       r.framesDroppedOutage = sr.framesDroppedOutage;
+      r.framesDroppedPolicer = sr.framesDroppedPolicer;
+      r.framesDroppedOverflow = sr.framesDroppedOverflow;
+      r.policerViolations = sr.policerViolations;
+      r.blockedIntervals = sr.blockedIntervals;
       r.deliveryRatio = sr.deliveryRatio();
     }
     out.streams.push_back(std::move(r));

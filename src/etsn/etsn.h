@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "net/psfp.h"
 #include "net/stream.h"
 #include "net/topology.h"
 #include "sched/program.h"
@@ -37,6 +38,12 @@ struct Experiment {
   /// Validate the schedule with the independent checker before running
   /// (throws InvariantError on any violation).
   bool validateSchedule = true;
+  /// Compile 802.1Qci filters from the solved schedule and police the
+  /// switch ingress.  The filter table is derived inside runExperiment
+  /// (it needs the solved slots); the remaining knobs — fail-silent
+  /// blocking, quiet period, alarm hooks — come from simConfig.police.
+  bool enablePolicing = false;
+  net::PsfpOptions psfpOptions;
 };
 
 struct StreamResult {
@@ -54,6 +61,10 @@ struct StreamResult {
   std::int64_t unterminated = 0;  // still in flight when the run ended
   std::int64_t framesDroppedLoss = 0;    // random + burst loss
   std::int64_t framesDroppedOutage = 0;  // cut by a link outage
+  std::int64_t framesDroppedPolicer = 0;   // non-conformant at ingress
+  std::int64_t framesDroppedOverflow = 0;  // tail-dropped (bounded queues)
+  std::int64_t policerViolations = 0;      // non-conformant frames seen
+  std::int64_t blockedIntervals = 0;       // fail-silent episodes entered
   /// delivered / sent (1.0 with nothing sent).
   double deliveryRatio = 1.0;
 };

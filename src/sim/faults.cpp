@@ -27,6 +27,48 @@ bool FaultPlan::empty() const {
   return true;
 }
 
+void FaultPlan::validate(const net::Topology& topo,
+                         std::size_t numEctSources) const {
+  const auto knownLink = [&](net::LinkId l) {
+    return l >= 0 && l < topo.numLinks();
+  };
+  for (const LossModel& m : losses) {
+    ETSN_CHECK_MSG(m.link == net::kNoLink || knownLink(m.link),
+                   "loss model references unknown link " << m.link);
+    ETSN_CHECK_MSG(m.dropProbability >= 0 && m.dropProbability <= 1 &&
+                       m.pGoodToBad >= 0 && m.pGoodToBad <= 1 &&
+                       m.pBadToGood >= 0 && m.pBadToGood <= 1 &&
+                       m.lossGood >= 0 && m.lossGood <= 1 && m.lossBad >= 0 &&
+                       m.lossBad <= 1,
+                   "loss probabilities must lie in [0, 1]");
+  }
+  for (const LinkOutage& o : outages) {
+    ETSN_CHECK_MSG(o.link == net::kNoLink || knownLink(o.link),
+                   "outage references unknown link " << o.link);
+    ETSN_CHECK_MSG(o.downAt >= 0 && o.upAt >= 0,
+                   "outage times must be non-negative");
+  }
+  for (const BabblingSource& b : babblers) {
+    ETSN_CHECK_MSG(b.interval >= 0 && b.start >= 0 && b.stop >= 0,
+                   "babbler times must be non-negative");
+    if (b.interval == 0) continue;  // inactive (default-constructed)
+    ETSN_CHECK_MSG(b.stop > b.start,
+                   "babbler window [" << b.start << ", " << b.stop
+                                      << ") is empty");
+    ETSN_CHECK_MSG(
+        b.ectIndex >= 0 &&
+            static_cast<std::size_t>(b.ectIndex) < numEctSources,
+        "babbler references unknown ECT source " << b.ectIndex);
+  }
+  for (const SyncOutage& s : syncOutages) {
+    ETSN_CHECK_MSG(s.node == net::kNoNode ||
+                       (s.node >= 0 && s.node < topo.numNodes()),
+                   "sync outage references unknown node " << s.node);
+    ETSN_CHECK_MSG(s.start >= 0 && s.stop >= 0,
+                   "sync outage times must be non-negative");
+  }
+}
+
 FaultInjector::FaultInjector(const net::Topology& topo, const FaultPlan& plan,
                              std::uint64_t seed)
     : plan_(plan) {

@@ -96,6 +96,15 @@ struct FaultPlan {
   /// True when no component can ever fire (the Network skips building an
   /// injector entirely, keeping fault-free runs bit-identical).
   bool empty() const;
+
+  /// Throw InvariantError on a malformed plan instead of misbehaving
+  /// mid-run: probabilities outside [0, 1], unknown link / node ids,
+  /// negative times, a babbler with a rate but an empty [start, stop)
+  /// window, or a babbler naming a source index outside
+  /// [0, numEctSources).  A LinkOutage with upAt <= downAt is *valid* (the
+  /// documented "down for the rest of the run" idiom), as are inactive
+  /// default-constructed components.
+  void validate(const net::Topology& topo, std::size_t numEctSources) const;
 };
 
 /// Evaluates a FaultPlan against one simulation run.  All random draws

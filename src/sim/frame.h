@@ -23,11 +23,13 @@ struct Frame {
   int hop = 0;         // current index into the spec's route
 };
 
-/// Why the fault layer killed a frame (loss attribution in the Recorder).
+/// Why the network killed a frame (loss attribution in the Recorder).
 enum class DropCause {
-  RandomLoss,  // independent per-frame loss draw
-  BurstLoss,   // Gilbert-Elliott bad-state loss
-  LinkDown,    // transmitted into (or cut by) a link outage
+  RandomLoss,     // independent per-frame loss draw
+  BurstLoss,      // Gilbert-Elliott bad-state loss
+  LinkDown,       // transmitted into (or cut by) a link outage
+  Policer,        // non-conformant at switch ingress (802.1Qci)
+  QueueOverflow,  // tail-dropped at a full bounded egress queue
 };
 
 }  // namespace etsn::sim

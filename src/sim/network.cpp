@@ -20,6 +20,10 @@ int maxSpecId(const sched::NetworkProgram& p) {
 Network::Network(const net::Topology& topo,
                  const sched::NetworkProgram& program, const SimConfig& config)
     : topo_(topo), program_(program), config_(config), rng_(config.seed) {
+  // Reject malformed plans here, with a clear message, rather than
+  // misbehaving mid-run; construction is where runExperiment/runCampaign
+  // funnel every plan through.
+  config_.faults.validate(topo_, program_.ectSources.size());
   // Fault layer: only built when the plan can actually fire, so fault-free
   // runs take exactly the code paths (and RNG draws) they always did.
   if (!config_.faults.empty()) {
@@ -79,6 +83,30 @@ Network::Network(const net::Topology& topo,
 
   const int numSpecs = maxSpecId(program_) + 1;
   recorder_ = std::make_unique<Recorder>(numSpecs);
+
+  // Bounded egress queues: tail drops are attributed to the owning stream.
+  if (config_.queueCapacity > 0) {
+    for (auto& port : ports_) {
+      port->setQueueCapacity(config_.queueCapacity,
+                             [this](const Frame& f, DropCause cause) {
+                               recorder_->onFrameDropped(f, cause);
+                             });
+    }
+  }
+
+  // Ingress policer: wrap the alarm hooks so Recorder bookkeeping happens
+  // before any user callback.
+  if (config_.police.enabled) {
+    PolicingConfig pc = config_.police;
+    auto userOnBlock = std::move(pc.onBlock);
+    pc.onBlock = [this, userOnBlock = std::move(userOnBlock)](
+                     std::int32_t specId, TimeNs at) {
+      recorder_->onPolicerBlockStart(specId);
+      if (userOnBlock) userOnBlock(specId, at);
+    };
+    policer_ = std::make_unique<IngressPolicer>(std::move(pc));
+  }
+
   nextInstanceId_.assign(static_cast<std::size_t>(numSpecs), 0);
   routes_.assign(static_cast<std::size_t>(numSpecs), nullptr);
   for (const auto& t : program_.talkers) {
@@ -118,6 +146,18 @@ void Network::onFrameReceived(Frame f, net::LinkId link) {
       routes_[static_cast<std::size_t>(f.specId)];
   ETSN_CHECK_MSG(route != nullptr, "frame for unknown spec");
   ETSN_CHECK((*route)[static_cast<std::size_t>(f.hop)] == link);
+
+  // PSFP ingress check at the network edge only: past the first switch the
+  // traffic is shaped by the switches' own gates, so edge conformance is
+  // sufficient (and hardware places Qci at the ingress port too).
+  if (policer_ != nullptr && f.hop == 0) {
+    const IngressPolicer::Decision d = policer_->admit(f, sim_.now());
+    if (d.violation) recorder_->onPolicerViolation(f.specId);
+    if (!d.pass) {
+      recorder_->onFrameDropped(f, DropCause::Policer);
+      return;
+    }
+  }
 
   if (static_cast<std::size_t>(f.hop) + 1 == route->size()) {
     recorder_->onFrameDelivered(f, sim_.now());

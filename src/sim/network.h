@@ -15,6 +15,7 @@
 #include "sim/clock.h"
 #include "sim/faults.h"
 #include "sim/kernel.h"
+#include "sim/police.h"
 #include "sim/port.h"
 #include "sim/recorder.h"
 
@@ -50,6 +51,12 @@ struct SimConfig {
   /// Fault injection (see sim/faults.h).  An empty or all-zero plan keeps
   /// the run byte-identical to a fault-free one.
   FaultPlan faults;
+  /// 802.1Qci ingress policing (see sim/police.h).  Disabled by default;
+  /// when enabled, frames are judged on arrival at their first switch.
+  PolicingConfig police;
+  /// Per-queue egress capacity in frames; 0 (the default) keeps today's
+  /// unbounded queues bit-for-bit.
+  int queueCapacity = 0;
   /// Notifications at link-outage boundaries (Control events), e.g. for a
   /// CNC to trigger graceful-degradation rescheduling.  The callback
   /// receives the outage's primary link id (one direction of the cable).
@@ -72,6 +79,8 @@ class Network {
   }
   /// Null on fault-free runs.
   const FaultInjector* faultInjector() const { return faults_.get(); }
+  /// Null unless SimConfig::police.enabled.
+  const IngressPolicer* policer() const { return policer_.get(); }
 
  private:
   void startTalker(const sched::TalkerConfig& t);
@@ -93,6 +102,7 @@ class Network {
   Simulator sim_;
   Rng rng_;
   std::unique_ptr<FaultInjector> faults_;  // null on fault-free runs
+  std::unique_ptr<IngressPolicer> policer_;  // null unless policing enabled
   std::vector<Clock> clocks_;  // per node
   std::vector<std::unique_ptr<EgressPort>> ports_;  // per directed link
   std::unique_ptr<Recorder> recorder_;

@@ -1,0 +1,98 @@
+#include "sim/police.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace etsn::sim {
+
+IngressPolicer::IngressPolicer(PolicingConfig config)
+    : config_(std::move(config)),
+      states_(config_.filters.filters.size()) {
+  ETSN_CHECK_MSG(!config_.blockOnViolation || config_.quietPeriod > 0,
+                 "fail-silent blocking needs a positive quiet period");
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const net::StreamFilter& f = config_.filters.filters[i];
+    if (f.kind == net::StreamFilter::Kind::Meter) {
+      ETSN_CHECK_MSG(f.meter.interval > 0 && f.meter.tokensPerInterval > 0 &&
+                         f.meter.bucketCapacity > 0,
+                     "degenerate meter for spec " << f.specId);
+      states_[i].tokens = f.meter.bucketCapacity;  // start full
+    }
+  }
+}
+
+void IngressPolicer::refillMeter(const net::MeterFilter& m, StreamState& s,
+                                 TimeNs now) {
+  const TimeNs elapsed = now - s.lastRefill;
+  ETSN_CHECK_MSG(elapsed >= 0, "policer saw time run backwards");
+  s.lastRefill = now;
+  s.remainder += elapsed * m.tokensPerInterval;
+  s.tokens += s.remainder / m.interval;
+  s.remainder %= m.interval;
+  if (s.tokens >= m.bucketCapacity) {
+    s.tokens = m.bucketCapacity;
+    s.remainder = 0;  // a full bucket does not bank credit
+  }
+}
+
+IngressPolicer::Decision IngressPolicer::admit(const Frame& f, TimeNs now) {
+  Decision d;
+  const net::StreamFilter* filter = config_.filters.filterFor(f.specId);
+  if (filter == nullptr || filter->kind == net::StreamFilter::Kind::None) {
+    return d;  // unpoliced stream
+  }
+  StreamState& s = states_[static_cast<std::size_t>(f.specId)];
+
+  if (s.blocked) {
+    if (now - s.quietSince < config_.quietPeriod) {
+      // Still (or again) noisy: drop and restart the quiet clock.
+      s.quietSince = now;
+      d.pass = false;
+      return d;
+    }
+    // Quiet period elapsed: readmit the stream with a clean slate and
+    // judge this frame normally.
+    s.blocked = false;
+    d.recovered = true;
+    if (filter->kind == net::StreamFilter::Kind::Meter) {
+      s.tokens = filter->meter.bucketCapacity;
+      s.remainder = 0;
+      s.lastRefill = now;
+    }
+    if (config_.onRecover) config_.onRecover(f.specId, now);
+  }
+
+  bool conformant = true;
+  if (filter->kind == net::StreamFilter::Kind::Gate) {
+    conformant = filter->gate.conforms(now);
+  } else {
+    refillMeter(filter->meter, s, now);
+    if (s.tokens > 0) {
+      --s.tokens;
+    } else {
+      conformant = false;
+    }
+  }
+  if (conformant) return d;
+
+  d.pass = false;
+  d.violation = true;
+  if (config_.blockOnViolation) {
+    s.blocked = true;
+    s.quietSince = now;
+    d.blockStarted = true;
+    if (config_.onBlock) config_.onBlock(f.specId, now);
+  }
+  return d;
+}
+
+bool IngressPolicer::isBlocked(std::int32_t specId, TimeNs now) const {
+  if (specId < 0 || static_cast<std::size_t>(specId) >= states_.size()) {
+    return false;
+  }
+  const StreamState& s = states_[static_cast<std::size_t>(specId)];
+  return s.blocked && now - s.quietSince < config_.quietPeriod;
+}
+
+}  // namespace etsn::sim

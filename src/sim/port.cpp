@@ -29,9 +29,21 @@ TimeNs EgressPort::txTimeFor(const Frame& f) const {
   return net::frameTxTime(f.payloadBytes, link_.bandwidthBps);
 }
 
+void EgressPort::setQueueCapacity(int capacity, DropFn onDrop) {
+  ETSN_CHECK(capacity >= 0);
+  queueCapacity_ = capacity;
+  onDrop_ = std::move(onDrop);
+}
+
 void EgressPort::enqueue(Frame f) {
   ETSN_CHECK(f.priority >= 0 && f.priority < net::kNumQueues);
   auto& q = queues_[static_cast<std::size_t>(f.priority)];
+  if (queueCapacity_ > 0 &&
+      q.size() >= static_cast<std::size_t>(queueCapacity_)) {
+    ++stats_.framesDroppedOverflow;
+    if (onDrop_) onDrop_(f, DropCause::QueueOverflow);
+    return;
+  }
   q.push_back(std::move(f));
   stats_.maxQueueDepth =
       std::max(stats_.maxQueueDepth, static_cast<std::int64_t>(q.size()));

@@ -27,6 +27,7 @@ struct PortStats {
   std::int64_t bytesSent = 0;
   TimeNs busyTime = 0;
   std::int64_t maxQueueDepth = 0;
+  std::int64_t framesDroppedOverflow = 0;  // tail drops (bounded queues)
 };
 
 class EgressPort {
@@ -43,6 +44,12 @@ class EgressPort {
              const FaultInjector* faults = nullptr);
 
   void configureCbs(int queue, double idleSlopeFraction);
+
+  /// Bound every queue of this port to `capacity` frames (0 = unbounded,
+  /// the default); an enqueue into a full queue tail-drops the frame.
+  /// `onDrop` (may be empty) reports each tail drop for attribution.
+  using DropFn = std::function<void(const Frame&, DropCause)>;
+  void setQueueCapacity(int capacity, DropFn onDrop);
 
   /// Enqueue at the current simulation time.
   void enqueue(Frame f);
@@ -67,6 +74,8 @@ class EgressPort {
   const Clock* clock_;      // owning node's clock
   const FaultInjector* faults_;  // may be null (fault-free run)
   TxCompleteFn onTxComplete_;
+  DropFn onDrop_;           // empty unless bounded queues are enabled
+  int queueCapacity_ = 0;   // frames per queue; 0 = unbounded
   std::array<std::deque<Frame>, net::kNumQueues> queues_;
   std::optional<CbsState> cbs_;
   int cbsQueue_ = -1;

@@ -48,10 +48,19 @@ void Recorder::onFrameDropped(const Frame& f, DropCause cause) {
   ETSN_CHECK(f.specId >= 0 &&
              static_cast<std::size_t>(f.specId) < records_.size());
   StreamRecord& r = records_[static_cast<std::size_t>(f.specId)];
-  if (cause == DropCause::LinkDown) {
-    ++r.framesDroppedOutage;
-  } else {
-    ++r.framesDroppedLoss;
+  switch (cause) {
+    case DropCause::LinkDown:
+      ++r.framesDroppedOutage;
+      break;
+    case DropCause::Policer:
+      ++r.framesDroppedPolicer;
+      break;
+    case DropCause::QueueOverflow:
+      ++r.framesDroppedOverflow;
+      break;
+    default:
+      ++r.framesDroppedLoss;
+      break;
   }
   const auto key = std::make_pair(f.specId, f.instanceId);
   const auto it = pending_.find(key);
@@ -60,6 +69,18 @@ void Recorder::onFrameDropped(const Frame& f, DropCause cause) {
   if (p.dropped == 0) ++r.messagesLost;  // can never complete now
   ++p.dropped;
   if (p.received + p.dropped == p.expected) pending_.erase(it);
+}
+
+void Recorder::onPolicerViolation(std::int32_t specId) {
+  ETSN_CHECK(specId >= 0 &&
+             static_cast<std::size_t>(specId) < records_.size());
+  ++records_[static_cast<std::size_t>(specId)].policerViolations;
+}
+
+void Recorder::onPolicerBlockStart(std::int32_t specId) {
+  ETSN_CHECK(specId >= 0 &&
+             static_cast<std::size_t>(specId) < records_.size());
+  ++records_[static_cast<std::size_t>(specId)].blockedIntervals;
 }
 
 void Recorder::finalize() {

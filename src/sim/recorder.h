@@ -35,9 +35,15 @@ struct StreamRecord {
   std::int64_t messagesUnterminated = 0;  // in flight at run end (finalize)
   std::int64_t framesEmitted = 0;
   std::int64_t framesDelivered = 0;
-  std::int64_t framesDroppedLoss = 0;    // RandomLoss + BurstLoss
-  std::int64_t framesDroppedOutage = 0;  // LinkDown
-  std::int64_t framesInFlight = 0;       // set by finalize()
+  std::int64_t framesDroppedLoss = 0;      // RandomLoss + BurstLoss
+  std::int64_t framesDroppedOutage = 0;    // LinkDown
+  std::int64_t framesDroppedPolicer = 0;   // Policer (ingress filtering)
+  std::int64_t framesDroppedOverflow = 0;  // QueueOverflow (tail drop)
+  std::int64_t framesInFlight = 0;         // set by finalize()
+
+  // Ingress policing (802.1Qci layer).
+  std::int64_t policerViolations = 0;  // non-conformant frames observed
+  std::int64_t blockedIntervals = 0;   // fail-silent block episodes entered
 
   /// Fraction of sent messages fully delivered (1.0 with nothing sent).
   double deliveryRatio() const {
@@ -62,8 +68,16 @@ class Recorder {
   /// A frame fully received at its destination.
   void onFrameDelivered(const Frame& f, TimeNs deliveredAt);
 
-  /// A frame killed by the fault layer (loss attribution).
+  /// A frame killed by the fault layer, the ingress policer, or a full
+  /// egress queue (loss attribution).
   void onFrameDropped(const Frame& f, DropCause cause);
+
+  /// A non-conformant frame observed by the ingress policer (counted in
+  /// addition to its Policer drop).
+  void onPolicerViolation(std::int32_t specId);
+
+  /// The policer put a stream into fail-silent blocking (one per episode).
+  void onPolicerBlockStart(std::int32_t specId);
 
   /// Close the books at the end of the run: instances still pending are
   /// counted as unterminated (message level, unless already lost) and

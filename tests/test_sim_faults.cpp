@@ -73,6 +73,66 @@ TEST(FaultPlan, EmptySemantics) {
   EXPECT_FALSE(outage.empty());
 }
 
+TEST(FaultPlan, ValidateRejectsMalformedComponents) {
+  const net::Topology topo = net::makeTestbedTopology();
+  const auto expectRejected = [&](const sim::FaultPlan& p) {
+    EXPECT_THROW(p.validate(topo, 1), InvariantError);
+  };
+
+  sim::FaultPlan negLoss;
+  negLoss.losses.push_back({});
+  negLoss.losses.back().dropProbability = -0.1;
+  expectRejected(negLoss);
+
+  sim::FaultPlan badLossLink;
+  badLossLink.losses.push_back({});
+  badLossLink.losses.back().link = 99;
+  expectRejected(badLossLink);
+
+  sim::FaultPlan badOutage;
+  badOutage.outages.push_back({});
+  badOutage.outages.back().link = topo.numLinks();
+  expectRejected(badOutage);
+
+  sim::FaultPlan negOutage;
+  negOutage.outages.push_back({});
+  negOutage.outages.back().link = 0;
+  negOutage.outages.back().downAt = -1;
+  expectRejected(negOutage);
+
+  sim::FaultPlan emptyBabble;  // a rate but an empty [start, stop) window
+  emptyBabble.babblers.push_back({});
+  emptyBabble.babblers.back().interval = milliseconds(1);
+  expectRejected(emptyBabble);
+
+  sim::FaultPlan badBabbleSource;
+  badBabbleSource.babblers.push_back({});
+  badBabbleSource.babblers.back().interval = milliseconds(1);
+  badBabbleSource.babblers.back().stop = milliseconds(10);
+  badBabbleSource.babblers.back().ectIndex = 1;  // only source 0 exists
+  expectRejected(badBabbleSource);
+
+  sim::FaultPlan badSyncNode;
+  badSyncNode.syncOutages.push_back({});
+  badSyncNode.syncOutages.back().node = topo.numNodes();
+  expectRejected(badSyncNode);
+}
+
+TEST(FaultPlan, ValidateAcceptsDefaultsAndForeverOutages) {
+  const net::Topology topo = net::makeTestbedTopology();
+  sim::FaultPlan p;
+  p.losses.push_back({});
+  p.outages.push_back({});
+  p.babblers.push_back({});
+  p.syncOutages.push_back({});
+  sim::LinkOutage forever;  // upAt <= downAt: the "down for good" idiom
+  forever.link = 8;
+  forever.downAt = milliseconds(100);
+  forever.upAt = 0;
+  p.outages.push_back(forever);
+  EXPECT_NO_THROW(p.validate(topo, 0));
+}
+
 TEST(FaultInjector, LinkSpecificModelOverridesGlobal) {
   const net::Topology topo = net::makeTestbedTopology();
   sim::FaultPlan plan;

@@ -180,8 +180,10 @@ TEST(SimNetwork, FrameAccountingClosesUnderFaults) {
   for (std::int32_t i = 0; i < 2; ++i) {
     const sim::StreamRecord& r = network.recorder().record(i);
     EXPECT_GT(r.framesEmitted, 0) << "stream " << i;
-    EXPECT_EQ(r.framesEmitted, r.framesDelivered + r.framesDroppedLoss +
-                                   r.framesDroppedOutage + r.framesInFlight)
+    EXPECT_EQ(r.framesEmitted,
+              r.framesDelivered + r.framesDroppedLoss + r.framesDroppedOutage +
+                  r.framesDroppedPolicer + r.framesDroppedOverflow +
+                  r.framesInFlight)
         << "stream " << i;
     EXPECT_EQ(r.messagesSent,
               r.messagesDelivered + r.messagesLost + r.messagesUnterminated)
@@ -189,6 +191,76 @@ TEST(SimNetwork, FrameAccountingClosesUnderFaults) {
     anyLoss = anyLoss || r.framesDroppedLoss > 0;
   }
   EXPECT_TRUE(anyLoss);
+}
+
+// The same closure with the two PR-5 buckets active: an unpoliced flood
+// into bounded queues fills framesDroppedOverflow, and a policed flood
+// fills framesDroppedPolicer — in both cases
+//   framesEmitted == delivered + droppedLoss + droppedOutage
+//                    + droppedPolicer + droppedOverflow + inFlight
+// holds for every stream.
+TEST(SimNetwork, FrameAccountingClosesUnderPolicingAndOverflow) {
+  Experiment ex;
+  ex.topo = net::makeTestbedTopology();
+  net::StreamSpec s;
+  s.name = "s";
+  s.src = 0;
+  s.dst = 2;
+  s.period = milliseconds(4);
+  s.maxLatency = milliseconds(4);
+  s.payloadBytes = 1500;
+  s.share = true;
+  ex.specs = {s};
+  ex.specs.push_back(workload::makeEct("e", 1, 3, milliseconds(16), 1500));
+  ex.simConfig.duration = milliseconds(300);
+  ex.simConfig.suppressEctTraffic = true;
+  sim::BabblingSource b;  // 1500 B every 10 us: > 100% of the source link
+  b.ectIndex = 0;
+  b.start = milliseconds(10);
+  b.stop = milliseconds(300);
+  b.interval = microseconds(10);
+  ex.simConfig.faults.babblers.push_back(b);
+
+  const sched::MethodSchedule ms =
+      sched::buildSchedule(ex.topo, ex.specs, ex.options);
+  ASSERT_TRUE(ms.schedule.info.feasible);
+  const sched::NetworkProgram program = sched::compileProgram(ex.topo, ms);
+
+  auto checkBooks = [](const sim::Network& network, std::int64_t* policer,
+                       std::int64_t* overflow) {
+    *policer = *overflow = 0;
+    for (std::int32_t i = 0; i < network.recorder().numSpecs(); ++i) {
+      const sim::StreamRecord& r = network.recorder().record(i);
+      EXPECT_EQ(r.framesEmitted,
+                r.framesDelivered + r.framesDroppedLoss +
+                    r.framesDroppedOutage + r.framesDroppedPolicer +
+                    r.framesDroppedOverflow + r.framesInFlight)
+          << "spec " << i;
+      *policer += r.framesDroppedPolicer;
+      *overflow += r.framesDroppedOverflow;
+    }
+  };
+
+  std::int64_t policer = 0, overflow = 0;
+  {
+    sim::SimConfig cfg = ex.simConfig;
+    cfg.queueCapacity = 16;  // flood backlog becomes tail drops
+    sim::Network network(ex.topo, program, cfg);
+    network.run();
+    checkBooks(network, &policer, &overflow);
+    EXPECT_EQ(policer, 0);
+    EXPECT_GT(overflow, 0);
+  }
+  {
+    sim::SimConfig cfg = ex.simConfig;
+    cfg.police.enabled = true;  // flood stopped at ingress instead
+    cfg.police.filters = net::compileFilters(ex.topo, ms);
+    sim::Network network(ex.topo, program, cfg);
+    network.run();
+    checkBooks(network, &policer, &overflow);
+    EXPECT_GT(policer, 0);
+    EXPECT_EQ(overflow, 0);
+  }
 }
 
 TEST(SimNetwork, TraceHookSeesEveryTransmission) {
