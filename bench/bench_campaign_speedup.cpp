@@ -3,7 +3,15 @@
 // the work-stealing pool (--threads N, default hardware concurrency),
 // verifying the two runs' JSON dumps — every per-stream sample summary and
 // campaign aggregate — are bit-identical, and reporting the speedup.
+//
+// Output: per-task wall clocks for both runs, plus a machine-readable
+// BENCH_campaign.json (threads -> tasks/sec and the speedup ratio) for
+// trend tracking across commits.  On a 1-core host the pooled run is
+// oversubscription, not parallelism, so the speedup is flagged as
+// meaningless instead of being reported as a regression.
 #include "harness.h"
+
+#include <thread>
 
 namespace {
 
@@ -70,12 +78,60 @@ int main(int argc, char** argv) {
               rp.threads, rp.wallSeconds, rp.feasibleCount(),
               rp.tasks.size());
 
+  std::printf("\nper-task wall clock (serial | pooled):\n");
+  for (std::size_t i = 0; i < rs.tasks.size(); ++i) {
+    std::printf("  %-24s %7.3fs | %7.3fs\n", rs.tasks[i].label.c_str(),
+                rs.tasks[i].wallSeconds, rp.tasks[i].wallSeconds);
+  }
+
   const std::string js = toJson(rs, /*includeSamples=*/true);
   const std::string jp = toJson(rp, /*includeSamples=*/true);
   std::printf("determinism: per-sample JSON dumps (%zu bytes) %s\n",
               js.size(), js == jp ? "BIT-IDENTICAL" : "DIFFER [BUG]");
-  std::printf("speedup  : %.2fx with %d threads\n",
-              rs.wallSeconds / rp.wallSeconds, rp.threads);
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double speedup = rs.wallSeconds / rp.wallSeconds;
+  const double serialRate =
+      static_cast<double>(rs.tasks.size()) / rs.wallSeconds;
+  const double pooledRate =
+      static_cast<double>(rp.tasks.size()) / rp.wallSeconds;
+  if (hw <= 1) {
+    std::printf(
+        "speedup  : NOT MEANINGFUL — hardware_concurrency() == %u, so %d\n"
+        "           pool threads time-slice one core; any ratio here\n"
+        "           measures oversubscription overhead, not scaling.\n"
+        "           Re-run on a multi-core host for a real speedup figure.\n",
+        hw, rp.threads);
+  } else {
+    std::printf("speedup  : %.2fx with %d threads (%u cores available)\n",
+                speedup, rp.threads, hw);
+  }
+  std::printf("throughput: serial %.2f tasks/s, pooled %.2f tasks/s\n",
+              serialRate, pooledRate);
+
+  {
+    std::ofstream bj("BENCH_campaign.json");
+    bj << "{\n"
+       << "  \"name\": \"" << rp.name << "\",\n"
+       << "  \"tasks\": " << rp.tasks.size() << ",\n"
+       << "  \"hardware_concurrency\": " << hw << ",\n"
+       << "  \"speedup_meaningful\": " << (hw > 1 ? "true" : "false")
+       << ",\n"
+       << "  \"runs\": [\n"
+       << "    {\"threads\": " << rs.threads << ", \"wall_seconds\": "
+       << rs.wallSeconds << ", \"tasks_per_sec\": " << serialRate << "},\n"
+       << "    {\"threads\": " << rp.threads << ", \"wall_seconds\": "
+       << rp.wallSeconds << ", \"tasks_per_sec\": " << pooledRate << "}\n"
+       << "  ],\n"
+       << "  \"speedup\": " << speedup << ",\n"
+       << "  \"deterministic\": " << (js == jp ? "true" : "false") << "\n"
+       << "}\n";
+    if (bj) {
+      std::printf("[campaign %s: machine-readable timing -> "
+                  "BENCH_campaign.json]\n",
+                  rp.name.c_str());
+    }
+  }
 
   const stats::Summary agg = rp.aggregate("ect");
   std::printf("aggregate ect: n=%lld avg=%.1fus worst=%.1fus jitter=%.1fus\n",

@@ -93,6 +93,69 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventThroughput);
 
+// The same self-rescheduling ticker through the typed-record fast path:
+// no std::function, no closure slot — the event record carries the tag.
+void BM_SimulatorTypedEventThroughput(benchmark::State& state) {
+  struct Ticker {
+    sim::Simulator* sim = nullptr;
+    std::int64_t count = 0;
+    int tag = 0;
+  };
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Ticker ticker{&sim, 0, 0};
+    ticker.tag = sim.registerHandler(
+        [](void* ctx, std::int32_t, std::int64_t) {
+          auto* t = static_cast<Ticker*>(ctx);
+          if (++t->count < 100000) {
+            t->sim->postAfter(microseconds(1), sim::EventClass::Control,
+                              t->tag);
+          }
+        },
+        &ticker);
+    sim.post(0, sim::EventClass::Control, ticker.tag);
+    sim.run(seconds(1));
+    benchmark::DoNotOptimize(ticker.count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorTypedEventThroughput);
+
+// Deep pending set: 512 periodic tickers with staggered periods keep a few
+// hundred events in flight at all times — the workload where a binary heap
+// pays log(n) per op and the calendar queue stays O(1).  Mirrors the
+// pressure a campaign task puts on the kernel (one event per frame hop).
+void BM_SimulatorDeepQueue(benchmark::State& state) {
+  constexpr int kTickers = 512;
+  struct Fleet {
+    sim::Simulator* sim = nullptr;
+    std::int64_t count = 0;
+    int tag = 0;
+  };
+  std::int64_t totalEvents = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Fleet fleet{&sim, 0, 0};
+    fleet.tag = sim.registerHandler(
+        [](void* ctx, std::int32_t a, std::int64_t) {
+          auto* f = static_cast<Fleet*>(ctx);
+          ++f->count;
+          // Staggered periods in [1us, 64us] keep the buckets uneven.
+          f->sim->postAfter(microseconds(1 + (a % 64)),
+                            sim::EventClass::Control, f->tag, a);
+        },
+        &fleet);
+    for (int i = 0; i < kTickers; ++i) {
+      sim.post(nanoseconds(i), sim::EventClass::Control, fleet.tag, i);
+    }
+    sim.run(milliseconds(20));
+    totalEvents += fleet.count;
+    benchmark::DoNotOptimize(fleet.count);
+  }
+  state.SetItemsProcessed(totalEvents);
+}
+BENCHMARK(BM_SimulatorDeepQueue);
+
 void BM_PortSaturatedLink(benchmark::State& state) {
   net::Topology topo;
   topo.addDevice("A");

@@ -9,8 +9,9 @@
 //
 // Common flags: --quick (default) trims sweeps for a fast pass;
 // --full runs the complete parameter grid; --seed N; --duration SECONDS;
-// --threads N fans the figure's grid across a campaign thread pool
-// (0 = hardware concurrency); --json PATH dumps the campaign result.
+// --threads N fans the figure's grid across a campaign thread pool of
+// exactly N >= 1 workers (omit the flag for hardware concurrency);
+// --json PATH dumps the campaign result.
 #pragma once
 
 #include <cerrno>
@@ -56,12 +57,13 @@ struct Args {
   std::uint64_t seed = 7;
   TimeNs duration = seconds(10);
   int numProbabilistic = 8;
-  int threads = 0;  // campaign pool size; 0 = hardware concurrency
+  int threads = 0;  // campaign pool size; 0 (flag absent) = hw concurrency
   std::string jsonPath;
 
   static const char* usage() {
     return "flags: --quick (default) | --full | --seed N | --duration S"
-           " | --threads N | --json PATH | --help";
+           " | --threads N (>= 1; omit for hardware concurrency)"
+           " | --json PATH | --help";
   }
 
   /// Parse without exiting: on success fills *out and returns true; on an
@@ -101,7 +103,15 @@ struct Args {
       } else if (!std::strcmp(arg, "--threads")) {
         std::int64_t t = 0;
         if (!value(&i, arg, &v)) return false;
-        if (!parseInt64(v, &t) || t < 0) return badNumber(arg, v);
+        if (!parseInt64(v, &t)) return badNumber(arg, v);
+        if (t < 1) {
+          // "--threads 0" used to silently mean hardware concurrency;
+          // that spelling now fails loudly so a typo can't change the
+          // benchmark's parallelism under the reader's feet.
+          *error = std::string(arg) + ": thread count must be >= 1 (got '" +
+                   v + "'); omit the flag to use hardware concurrency";
+          return false;
+        }
         a.threads = static_cast<int>(t);
       } else if (!std::strcmp(arg, "--json")) {
         if (!value(&i, arg, &v)) return false;

@@ -12,18 +12,60 @@ const StreamResult& ExperimentResult::byName(const std::string& name) const {
   throw ConfigError("no stream result named '" + name + "'");
 }
 
+std::shared_ptr<const sched::MethodSchedule> solveSchedule(
+    const Experiment& ex) {
+  auto ms = std::make_shared<sched::MethodSchedule>(
+      sched::buildSchedule(ex.topo, ex.specs, ex.options));
+  if (ms->schedule.info.feasible && ex.validateSchedule) {
+    sched::validateOrThrow(ex.topo, ms->schedule);
+  }
+  return ms;
+}
+
+namespace {
+
+/// Cheap guard against wiring a presolved schedule into the wrong
+/// experiment: the full inputs (topology, stream parameters, solver
+/// options) are the caller's responsibility, but method and per-spec
+/// identity mismatches are catchable and catch the likely bugs (stale
+/// cache entry, methods crossed in a sweep loop).
+void checkPresolvedMatches(const Experiment& ex,
+                           const sched::MethodSchedule& ms) {
+  if (ms.method != ex.options.method) {
+    throw ConfigError("presolved schedule method does not match "
+                      "Experiment::options.method");
+  }
+  const auto& specs = ms.schedule.specs;
+  if (specs.size() != ex.specs.size()) {
+    throw ConfigError("presolved schedule has " +
+                      std::to_string(specs.size()) + " specs, experiment has " +
+                      std::to_string(ex.specs.size()));
+  }
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (specs[i].name != ex.specs[i].name) {
+      throw ConfigError("presolved schedule spec " + std::to_string(i) +
+                        " is '" + specs[i].name + "', experiment has '" +
+                        ex.specs[i].name + "'");
+    }
+  }
+}
+
+}  // namespace
+
 ExperimentResult runExperiment(const Experiment& ex) {
   ExperimentResult out;
   out.method = ex.options.method;
 
-  const sched::MethodSchedule ms =
-      sched::buildSchedule(ex.topo, ex.specs, ex.options);
+  std::shared_ptr<const sched::MethodSchedule> solved = ex.presolved;
+  if (solved) {
+    checkPresolvedMatches(ex, *solved);
+  } else {
+    solved = solveSchedule(ex);
+  }
+  const sched::MethodSchedule& ms = *solved;
   out.solve = ms.schedule.info;
   out.feasible = ms.schedule.info.feasible;
   if (!out.feasible) return out;
-  if (ex.validateSchedule) {
-    sched::validateOrThrow(ex.topo, ms.schedule);
-  }
 
   const sched::NetworkProgram program = sched::compileProgram(ex.topo, ms);
   sim::SimConfig simConfig = ex.simConfig;

@@ -16,6 +16,7 @@
 //   std::cout << result.streams.back().latency.meanUs() << " us\n";
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,7 +45,22 @@ struct Experiment {
   /// blocking, quiet period, alarm hooks — come from simConfig.police.
   bool enablePolicing = false;
   net::PsfpOptions psfpOptions;
+  /// Reuse an already-solved schedule instead of calling buildSchedule.
+  /// Sweeps that vary only runtime knobs (fault plans, policing, sim seed)
+  /// over one scheduling problem would otherwise re-solve the identical
+  /// SMT instance per cell — the dominant cost of e.g. the police sweep.
+  /// The caller guarantees it was built from this experiment's topo, specs
+  /// and options; runExperiment cross-checks the cheap invariants (method,
+  /// spec count and names) and throws ConfigError on mismatch.  Shared
+  /// ownership so campaign cells can hold one solve concurrently.
+  std::shared_ptr<const sched::MethodSchedule> presolved;
 };
+
+/// Solve an experiment's schedule once for reuse via Experiment::presolved.
+/// Equivalent to the solve runExperiment performs internally (including
+/// the validateSchedule check), without running the simulation.
+std::shared_ptr<const sched::MethodSchedule> solveSchedule(
+    const Experiment& ex);
 
 struct StreamResult {
   std::string name;

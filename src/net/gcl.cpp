@@ -1,7 +1,6 @@
 #include "net/gcl.h"
 
 #include <algorithm>
-#include <map>
 
 namespace etsn::net {
 
@@ -14,69 +13,112 @@ Gcl::Gcl(TimeNs cycle, std::vector<GclEntry> entries)
     sum += e.duration;
   }
   ETSN_CHECK_MSG(sum == cycle_, "GCL entry durations must sum to the cycle");
+  compile();
+}
+
+void Gcl::compile() {
+  const std::size_t n = entries_.size();
+
+  startOf_.resize(n + 1);
+  TimeNs at = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    startOf_[i] = at;
+    at += entries_[i].duration;
+  }
+  startOf_[n] = cycle_;
+
+  // Coarse grid sized so cells outnumber entries ~4:1 (capped at 4096),
+  // keeping entryIndexAt's linear advance to a step or two.
+  gridShift_ = 0;
+  const std::size_t targetCells =
+      std::min<std::size_t>(4096, std::max<std::size_t>(4 * n, 1));
+  while ((cycle_ >> gridShift_) > static_cast<TimeNs>(targetCells)) {
+    ++gridShift_;
+  }
+  const std::size_t cells =
+      static_cast<std::size_t>((cycle_ - 1) >> gridShift_) + 1;
+  grid_.resize(cells);
+  {
+    std::size_t entry = 0;
+    for (std::size_t c = 0; c < cells; ++c) {
+      const TimeNs cellStart = static_cast<TimeNs>(c) << gridShift_;
+      while (startOf_[entry + 1] <= cellStart) ++entry;
+      grid_[c] = static_cast<std::int32_t>(entry);
+    }
+  }
+
+  // Per-(queue, entry) continuation tables, each derived by one walk over
+  // two unrolled cycles — construction cost O(kNumQueues * n), paid once.
+  extraAfter_.assign(kNumQueues * n, 0);
+  nextOpenDelta_.assign(kNumQueues * n, -1);
+  for (int q = 0; q < kNumQueues; ++q) {
+    // extraAfter: scan backwards over entries twice so the open run
+    // following entry i (wrapping) is known when i is visited.
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+      for (std::size_t ii = n; ii-- > 0;) {
+        const std::size_t nxt = (ii + 1) % n;
+        const bool nextOpenGate = (entries_[nxt].gateMask >> q) & 1;
+        TimeNs extra = 0;
+        if (nextOpenGate) {
+          extra = entries_[nxt].duration + extraAfter_[q * n + nxt];
+          extra = std::min(extra, cycle_);
+        }
+        extraAfter_[q * n + ii] = extra;
+      }
+    }
+    // nextOpenDelta: distance from entry i's start to the first open
+    // offset, walking forward over two cycles.
+    for (std::size_t i = 0; i < n; ++i) {
+      TimeNs delta = 0;
+      bool found = false;
+      for (std::size_t step = 0; step < 2 * n; ++step) {
+        const std::size_t j = (i + step) % n;
+        if ((entries_[j].gateMask >> q) & 1) {
+          found = true;
+          break;
+        }
+        delta += entries_[j].duration;
+      }
+      nextOpenDelta_[q * n + i] = found ? delta : -1;
+    }
+  }
 }
 
 std::size_t Gcl::entryIndexAt(TimeNs t, TimeNs* entryStart) const {
   ETSN_CHECK(installed());
   TimeNs off = t % cycle_;
   if (off < 0) off += cycle_;
-  TimeNs at = 0;
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    const TimeNs end = at + entries_[i].duration;
-    if (off < end) {
-      if (entryStart != nullptr) *entryStart = t - (off - at);
-      return i;
-    }
-    at = end;
-  }
-  ETSN_CHECK_MSG(false, "unreachable: offset beyond cycle");
-  return 0;
-}
-
-bool Gcl::gateOpen(int queue, TimeNs t) const {
-  ETSN_CHECK(queue >= 0 && queue < kNumQueues);
-  if (!installed()) return true;
-  return (maskAt(t) >> queue) & 1;
-}
-
-std::uint8_t Gcl::maskAt(TimeNs t) const {
-  if (!installed()) return 0xFF;
-  return entries_[entryIndexAt(t, nullptr)].gateMask;
-}
-
-TimeNs Gcl::nextChange(TimeNs t) const {
-  ETSN_CHECK(installed());
-  TimeNs entryStart = 0;
-  const std::size_t i = entryIndexAt(t, &entryStart);
-  return entryStart + entries_[i].duration;
+  std::size_t i = static_cast<std::size_t>(
+      grid_[static_cast<std::size_t>(off >> gridShift_)]);
+  while (startOf_[i + 1] <= off) ++i;
+  if (entryStart != nullptr) *entryStart = t - (off - startOf_[i]);
+  return i;
 }
 
 TimeNs Gcl::openTimeRemaining(int queue, TimeNs t) const {
   ETSN_CHECK(queue >= 0 && queue < kNumQueues);
   if (!installed()) return kNsPerSec;  // effectively unbounded
-  if (!gateOpen(queue, t)) return 0;
-  TimeNs remaining = 0;
-  TimeNs at = t;
-  // Walk entries until the gate closes (cap at one cycle: always-open).
-  while (remaining < cycle_) {
-    const TimeNs change = nextChange(at);
-    remaining += change - at;
-    if (!gateOpen(queue, change)) break;
-    at = change;
-  }
+  TimeNs entryStart = 0;
+  const std::size_t i = entryIndexAt(t, &entryStart);
+  if (((entries_[i].gateMask >> queue) & 1) == 0) return 0;
+  const TimeNs untilEntryEnd = entryStart + entries_[i].duration - t;
+  const TimeNs remaining =
+      untilEntryEnd + extraAfter_[static_cast<std::size_t>(queue) *
+                                      entries_.size() +
+                                  i];
   return std::min(remaining, cycle_);
 }
 
 TimeNs Gcl::nextOpen(int queue, TimeNs t) const {
   ETSN_CHECK(queue >= 0 && queue < kNumQueues);
   if (!installed()) return t;
-  TimeNs at = t;
-  const TimeNs limit = t + cycle_;
-  while (at < limit) {
-    if (gateOpen(queue, at)) return at;
-    at = nextChange(at);
-  }
-  return -1;
+  TimeNs entryStart = 0;
+  const std::size_t i = entryIndexAt(t, &entryStart);
+  if ((entries_[i].gateMask >> queue) & 1) return t;
+  const TimeNs delta =
+      nextOpenDelta_[static_cast<std::size_t>(queue) * entries_.size() + i];
+  if (delta < 0) return -1;
+  return entryStart + delta;
 }
 
 GclBuilder::GclBuilder(TimeNs cycle) : cycle_(cycle) {

@@ -5,6 +5,14 @@
 // from per-queue open windows; queues with no windows at all can be
 // declared "always open" (used for best-effort/AVB queues that live in the
 // unallocated time-slots).
+//
+// Construction precompiles the cycle into flat lookup tables so every
+// query the simulator's port hot path makes — gate state, next change,
+// remaining open time, next opening — is O(1): a coarse grid maps a cycle
+// offset to its entry in one step, and per-(queue, entry) arrays carry the
+// answers ("how long does this gate stay open past this entry", "when does
+// it open next") that the old implementation recomputed by walking entries
+// on every event.
 #pragma once
 
 #include <cstdint>
@@ -33,14 +41,26 @@ class Gcl {
   bool installed() const { return cycle_ > 0; }
 
   /// Is queue q's gate open at absolute time t?
-  bool gateOpen(int queue, TimeNs t) const;
+  bool gateOpen(int queue, TimeNs t) const {
+    ETSN_CHECK(queue >= 0 && queue < kNumQueues);
+    if (!installed()) return true;
+    return (maskAt(t) >> queue) & 1;
+  }
 
   /// Absolute time of the next state change at or after t (for the
   /// simulator's port machinery); returns t's containing entry's end.
-  TimeNs nextChange(TimeNs t) const;
+  TimeNs nextChange(TimeNs t) const {
+    ETSN_CHECK(installed());
+    TimeNs entryStart = 0;
+    const std::size_t i = entryIndexAt(t, &entryStart);
+    return entryStart + entries_[i].duration;
+  }
 
   /// Gate mask in effect at absolute time t.
-  std::uint8_t maskAt(TimeNs t) const;
+  std::uint8_t maskAt(TimeNs t) const {
+    if (!installed()) return 0xFF;
+    return entries_[entryIndexAt(t, nullptr)].gateMask;
+  }
 
   /// From absolute time t, how long queue q's gate stays open (0 if shut).
   /// Capped at one full cycle for always-open queues.
@@ -52,9 +72,27 @@ class Gcl {
 
  private:
   std::size_t entryIndexAt(TimeNs t, TimeNs* entryStart) const;
+  void compile();
 
   TimeNs cycle_ = 0;
   std::vector<GclEntry> entries_;
+
+  // Precompiled tables (see compile()).  startOf_ has one extra slot
+  // holding cycle_ so entry i spans [startOf_[i], startOf_[i+1]).
+  std::vector<TimeNs> startOf_;
+  // Coarse offset grid: grid_[off >> gridShift_] is the index of the entry
+  // containing the grid cell's start; entryIndexAt advances from there
+  // (at most a couple of steps, since cells are at most one entry wide on
+  // average).
+  std::vector<std::int32_t> grid_;
+  int gridShift_ = 0;
+  // extraAfter_[q * n + i]: how long queue q's gate stays open past entry
+  // i's end (0 if it closes there; capped at one cycle for always-open).
+  std::vector<TimeNs> extraAfter_;
+  // nextOpenDelta_[q * n + i]: for a gate closed throughout entry i, the
+  // delta from entry i's start to its next opening (wrapping across the
+  // cycle boundary); -1 if the gate never opens.
+  std::vector<TimeNs> nextOpenDelta_;
 };
 
 /// Builds a Gcl from per-queue open intervals within a cycle.

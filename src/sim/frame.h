@@ -8,9 +8,18 @@
 
 #include <cstdint>
 
+#include "common/arena.h"
 #include "common/time.h"
 
 namespace etsn::sim {
+
+/// Index into the owning Simulator's frame arena.  The hot path moves
+/// frames by handle — event records and egress queues store 32-bit handles
+/// while the frame body lives in one slab slot from creation to delivery
+/// (or drop), so forwarding a frame across five hops copies 4 bytes per
+/// hop, not the struct.
+using FrameHandle = Arena<struct Frame>::Handle;
+inline constexpr FrameHandle kNoFrameHandle = -1;
 
 struct Frame {
   std::int32_t specId = -1;     // originating StreamSpec

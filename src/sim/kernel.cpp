@@ -1,24 +1,152 @@
 #include "sim/kernel.h"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 namespace etsn::sim {
 
+Simulator::Simulator() : buckets_(kWheelSize) {
+  // Tag 0 is the closure trampoline; typed registrants start at 1.
+  table_.push_back({&Simulator::dispatchClosure, this});
+}
+
+int Simulator::registerHandler(TypedHandler fn, void* ctx) {
+  ETSN_CHECK_MSG(fn != nullptr, "typed handler must not be null");
+  table_.push_back({fn, ctx});
+  return static_cast<int>(table_.size() - 1);
+}
+
 void Simulator::at(TimeNs t, EventClass cls, Handler fn) {
   ETSN_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
-  queue_.push(Event{t, cls, seq_++, std::move(fn)});
+  std::int32_t slot;
+  if (!freeSlots_.empty()) {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    slots_[static_cast<std::size_t>(slot)] = std::move(fn);
+  } else {
+    slot = static_cast<std::int32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  post(t, cls, /*tag=*/0, slot);
+}
+
+void Simulator::dispatchClosure(void* ctx, std::int32_t slot, std::int64_t) {
+  auto* self = static_cast<Simulator*>(ctx);
+  // Move the closure out and recycle the slot before calling: the handler
+  // may park new closures (self-rescheduling ticks reuse their own slot).
+  Handler fn = std::move(self->slots_[static_cast<std::size_t>(slot)]);
+  self->slots_[static_cast<std::size_t>(slot)] = nullptr;
+  self->freeSlots_.push_back(slot);
+  fn();
+}
+
+void Simulator::insert(const EventRecord& ev) {
+  if (ev.time < bucketStart_ + kBucketWidth) {
+    // Current window (or, after a run() cut short, an already-passed one):
+    // goes into the side heap, which the drain loop merges with the sorted
+    // window — both pop strictly before any wheel bucket.
+    side_.push_back(ev);
+    std::push_heap(side_.begin(), side_.end(), Later{});
+  } else if (ev.time < bucketStart_ + kHorizon) {
+    const std::size_t idx =
+        (static_cast<std::uint64_t>(ev.time) >> kBucketBits) & kWheelMask;
+    auto& bucket = buckets_[idx];
+    if (bucket.empty()) occupied_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    bucket.push_back(ev);
+    ++wheelCount_;
+  } else {
+    overflow_.push_back(ev);
+    std::push_heap(overflow_.begin(), overflow_.end(), Later{});
+  }
+}
+
+std::size_t Simulator::stepsToNextOccupied(std::size_t from) const {
+  std::size_t idx = (from + 1) & kWheelMask;
+  std::size_t word = idx >> 6;
+  std::uint64_t bits = occupied_[word] & (~std::uint64_t{0} << (idx & 63));
+  constexpr std::size_t kWords = kWheelSize / 64;
+  for (std::size_t i = 0; i <= kWords; ++i) {
+    if (bits != 0) {
+      const std::size_t bit =
+          word * 64 + static_cast<std::size_t>(std::countr_zero(bits));
+      return (bit - from) & kWheelMask;
+    }
+    word = (word + 1) & (kWords - 1);
+    bits = occupied_[word];
+  }
+  ETSN_CHECK_MSG(false, "occupancy bitmap empty with wheelCount_ > 0");
+  return 0;
+}
+
+bool Simulator::advance() {
+  // Precondition: window_ and side_ are empty.
+  if (wheelCount_ == 0 && overflow_.empty()) return false;
+  // Next window: the earlier of the nearest occupied wheel bucket and the
+  // overflow front's window.  (The nearest occupied bucket's events belong
+  // to the first congruent window past bucketStart_ — anything later would
+  // have exceeded the horizon at insertion time.)
+  TimeNs scanTarget = -1;
+  if (wheelCount_ > 0) {
+    const std::size_t cur =
+        (static_cast<std::uint64_t>(bucketStart_) >> kBucketBits) & kWheelMask;
+    scanTarget = bucketStart_ + static_cast<TimeNs>(stepsToNextOccupied(cur)) *
+                                    kBucketWidth;
+  }
+  TimeNs target = scanTarget;
+  if (!overflow_.empty()) {
+    const TimeNs overflowWindow =
+        (overflow_.front().time >> kBucketBits) << kBucketBits;
+    if (target < 0 || overflowWindow < target) target = overflowWindow;
+  }
+  bucketStart_ = target;
+  const TimeNs windowEnd = bucketStart_ + kBucketWidth;
+  // Far-future events whose window has arrived surface here; the overflow
+  // heap is only ever peeked, so its size costs nothing.
+  while (!overflow_.empty() && overflow_.front().time < windowEnd) {
+    window_.push_back(overflow_.front());
+    std::pop_heap(overflow_.begin(), overflow_.end(), Later{});
+    overflow_.pop_back();
+  }
+  // Splice the wheel bucket only when this window is really its window: a
+  // jump to an earlier overflow window may share the bucket index with
+  // events still up to a full horizon away.
+  if (target == scanTarget) {
+    const std::size_t idx =
+        (static_cast<std::uint64_t>(bucketStart_) >> kBucketBits) & kWheelMask;
+    auto& bucket = buckets_[idx];
+    wheelCount_ -= bucket.size();
+    window_.insert(window_.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+    occupied_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+  }
+  ETSN_CHECK_MSG(!window_.empty(), "advance() produced an empty window");
+  // Sort once, pop from the back: O(1) per event instead of a log(k)
+  // sift-down, and the sort runs over contiguous 32-byte PODs.
+  std::sort(window_.begin(), window_.end(), Later{});
+  return true;
 }
 
 void Simulator::run(TimeNs until) {
-  while (!queue_.empty()) {
-    if (queue_.top().time > until) break;
-    // priority_queue::top() is const; move out via const_cast — safe, the
-    // element is popped immediately.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
+  while (true) {
+    if (window_.empty() && side_.empty() && !advance()) break;
+    // The next event is the strict minimum of the sorted window's tail and
+    // the side heap's top (keys are unique, so there are no ties).
+    const bool fromSide =
+        window_.empty() ||
+        (!side_.empty() && Later{}(window_.back(), side_.front()));
+    const EventRecord ev = fromSide ? side_.front() : window_.back();
+    if (ev.time > until) break;
+    if (fromSide) {
+      std::pop_heap(side_.begin(), side_.end(), Later{});
+      side_.pop_back();
+    } else {
+      window_.pop_back();
+    }
     now_ = ev.time;
     ++processed_;
-    ev.fn();
+    const HandlerEntry& h = table_[ev.tag];
+    h.fn(h.ctx, ev.a, ev.b);
   }
   now_ = until;
 }

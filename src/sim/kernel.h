@@ -6,15 +6,36 @@
 // port service at t, so a talker's frame can leave in a slot that opens at
 // the same nanosecond (matching hardware, where the queue is filled before
 // the gate's clock edge).
+//
+// The queue is a calendar wheel, not a binary heap: a ring of fixed-width
+// buckets covers the near future, the bucket being drained is sorted once
+// and popped from the back (O(1) per event), and a far-future overflow
+// heap holds everything beyond the wheel horizon.  Insertion into the
+// wheel is O(1) (shift + mask + vector push of a 32-byte POD record);
+// events posted *into* the window currently draining go to a small side
+// heap that is merged on the fly.  Determinism is untouched: every event
+// carries a unique (time, class, seq) key, and each pop takes the strict
+// global minimum of (sorted window, side heap) — windows strictly precede
+// later buckets, which strictly precede the overflow — so the fire order
+// is exactly the old priority queue's.
+//
+// Hot-path events are typed records — a jump-table tag plus two integer
+// operands (typically a port/link id and a frame arena handle) — so
+// scheduling a frame movement allocates nothing.  The legacy closure API
+// (`at`/`after`) is kept for cold control work (tests, fault boundaries,
+// user callbacks): the std::function parks in a recycled slot table and
+// the event record carries the slot index.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/check.h"
 #include "common/time.h"
+#include "sim/frame.h"
 
 namespace etsn::sim {
 
@@ -28,10 +49,36 @@ enum class EventClass : std::uint8_t {
 class Simulator {
  public:
   using Handler = std::function<void()>;
+  /// A jump-table entry: `ctx` is the registrant (port, network, ...),
+  /// `a`/`b` are the operands the event record carried.
+  using TypedHandler = void (*)(void* ctx, std::int32_t a, std::int64_t b);
+
+  Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
 
   TimeNs now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `t` (>= now).
+  /// Register a typed handler; returns its jump-table tag.  Registration
+  /// happens once per dispatcher at construction, never per event.
+  int registerHandler(TypedHandler fn, void* ctx);
+
+  /// Schedule a typed event at absolute time `t` (>= now).  No allocation.
+  void post(TimeNs t, EventClass cls, int tag, std::int32_t a = 0,
+            std::int64_t b = 0) {
+    ETSN_CHECK_MSG(t >= now_, "cannot schedule an event in the past");
+    insert(EventRecord{t, packKey(cls, seq_++), static_cast<std::uint32_t>(tag),
+                       a, b});
+  }
+
+  void postAfter(TimeNs delay, EventClass cls, int tag, std::int32_t a = 0,
+                 std::int64_t b = 0) {
+    post(now_ + delay, cls, tag, a, b);
+  }
+
+  /// Schedule `fn` at absolute time `t` (>= now).  Cold path: the closure
+  /// is parked in a recycled slot, so this allocates at most what
+  /// std::function itself needs.
   void at(TimeNs t, EventClass cls, Handler fn);
 
   /// Schedule `fn` after a delay.
@@ -43,25 +90,85 @@ class Simulator {
   void run(TimeNs until);
 
   std::int64_t eventsProcessed() const { return processed_; }
+  /// Events scheduled but not yet fired (window + side heap + wheel +
+  /// overflow).
+  std::int64_t eventsPending() const {
+    return static_cast<std::int64_t>(window_.size() + side_.size() +
+                                     wheelCount_ + overflow_.size());
+  }
+
+  /// Per-simulation frame pool: every Frame in flight lives here, keyed by
+  /// FrameHandle.  Slab storage is private to this simulator instance.
+  Arena<Frame>& frames() { return frames_; }
+  const Arena<Frame>& frames() const { return frames_; }
 
  private:
-  struct Event {
+  // Wheel geometry: 1024 buckets of 8.192 us cover an ~8.4 ms horizon —
+  // wider than any frame's wire time or switch delay, so frame-level
+  // events land in the wheel; periodic talker/sync work beyond the
+  // horizon waits in the overflow heap (which stays small: one record per
+  // periodic source, not per frame).
+  static constexpr int kBucketBits = 13;                      // 8192 ns
+  static constexpr TimeNs kBucketWidth = TimeNs{1} << kBucketBits;
+  static constexpr std::size_t kWheelBits = 10;               // 1024 buckets
+  static constexpr std::size_t kWheelSize = std::size_t{1} << kWheelBits;
+  static constexpr std::size_t kWheelMask = kWheelSize - 1;
+  static constexpr TimeNs kHorizon = kBucketWidth << kWheelBits;
+
+  struct EventRecord {
     TimeNs time;
-    EventClass cls;
-    std::int64_t seq;
-    Handler fn;
+    std::uint64_t key;  // (class << 62) | seq: unique, strict total order
+    std::uint32_t tag;
+    std::int32_t a;
+    std::int64_t b;
   };
+  struct HandlerEntry {
+    TypedHandler fn;
+    void* ctx;
+  };
+
+  static std::uint64_t packKey(EventClass cls, std::uint64_t seq) {
+    return (static_cast<std::uint64_t>(cls) << 62) | seq;
+  }
+  /// Ordering functor (a struct, not a function pointer, so the heap/sort
+  /// algorithms inline the comparison): true when `x` fires after `y`.
   struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      if (a.cls != b.cls) return a.cls > b.cls;
-      return a.seq > b.seq;
+    bool operator()(const EventRecord& x, const EventRecord& y) const {
+      if (x.time != y.time) return x.time > y.time;
+      return x.key > y.key;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  void insert(const EventRecord& ev);
+  /// Advance the wheel to the next non-empty window; refills near_.
+  /// Returns false when no events remain anywhere.
+  bool advance();
+
+  static void dispatchClosure(void* ctx, std::int32_t slot, std::int64_t);
+
+  /// First occupied bucket index strictly after `from`, circularly.
+  /// Precondition: wheelCount_ > 0.
+  std::size_t stepsToNextOccupied(std::size_t from) const;
+
+  std::vector<EventRecord> window_;    // current window, sorted descending
+  std::vector<EventRecord> side_;      // min-heap: posted into the window
+  std::vector<std::vector<EventRecord>> buckets_;  // the wheel
+  std::vector<EventRecord> overflow_;  // min-heap beyond the horizon
+  std::size_t wheelCount_ = 0;         // events currently in buckets_
+  TimeNs bucketStart_ = 0;             // start of the current window
+  // Occupancy bitmap over the wheel: advance() jumps to the next set bit
+  // instead of stepping empty 8 us windows one by one (sparse workloads —
+  // ports sleeping until a gate opens — would otherwise pay a scan).
+  std::array<std::uint64_t, kWheelSize / 64> occupied_{};
+
+  std::vector<HandlerEntry> table_;    // jump table; tag 0 = closure slots
+  std::vector<Handler> slots_;         // parked closures (cold path)
+  std::vector<std::int32_t> freeSlots_;
+
+  Arena<Frame> frames_;
+
   TimeNs now_ = 0;
-  std::int64_t seq_ = 0;
+  std::uint64_t seq_ = 0;
   std::int64_t processed_ = 0;
 };
 

@@ -31,6 +31,50 @@ Network::Network(const net::Topology& topo,
                                               config_.seed);
   }
 
+  // The network's typed event handlers: thin static trampolines into the
+  // member dispatchers (the kernel's jump table stores fn + ctx pairs).
+  rxTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t b) {
+        static_cast<Network*>(ctx)->onFrameReceived(
+            static_cast<FrameHandle>(b), a);
+      },
+      this);
+  fwdTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t b) {
+        auto* self = static_cast<Network*>(ctx);
+        self->ports_[static_cast<std::size_t>(a)]->enqueueHandle(
+            static_cast<FrameHandle>(b));
+      },
+      this);
+  talkerTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t b) {
+        static_cast<Network*>(ctx)->fireTalker(static_cast<std::size_t>(a), b);
+      },
+      this);
+  talkerFrameTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t b) {
+        auto* self = static_cast<Network*>(ctx);
+        self->ports_[static_cast<std::size_t>(a)]->enqueueHandle(
+            static_cast<FrameHandle>(b));
+      },
+      this);
+  ectTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t b) {
+        static_cast<Network*>(ctx)->fireEctSource(static_cast<std::size_t>(a),
+                                                  b);
+      },
+      this);
+  babbleTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t b) {
+        static_cast<Network*>(ctx)->fireBabble(static_cast<std::size_t>(a), b);
+      },
+      this);
+  ptpTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t) {
+        static_cast<Network*>(ctx)->ptpSync(a);
+      },
+      this);
+
   // Clocks: perfect by default, or drifting with periodic sync.
   clocks_.reserve(static_cast<std::size_t>(topo_.numNodes()));
   for (int n = 0; n < topo_.numNodes(); ++n) {
@@ -54,27 +98,7 @@ Network::Network(const net::Topology& topo,
     auto& port = ports_[static_cast<std::size_t>(l)];
     port = std::make_unique<EgressPort>(
         sim_, link, gcl, &clocks_[static_cast<std::size_t>(link.from)],
-        [this, l](const Frame& f, TimeNs txEnd) {
-          if (config_.trace) config_.trace({f, l, txEnd});
-          if (faults_ != nullptr) {
-            // Cut at link: an outage that started mid-transmission kills
-            // the frame; otherwise the loss models draw a verdict.
-            if (faults_->linkDown(l, txEnd)) {
-              recorder_->onFrameDropped(f, DropCause::LinkDown);
-              return;
-            }
-            if (const auto cause = faults_->lossAt(l, txEnd)) {
-              recorder_->onFrameDropped(f, *cause);
-              return;
-            }
-          }
-          // Last bit on the wire at txEnd; full reception after the
-          // propagation delay (store-and-forward).
-          const TimeNs rx = txEnd + topo_.link(l).propagationDelay;
-          Frame copy = f;
-          sim_.at(rx, EventClass::Enqueue,
-                  [this, copy, l]() { onFrameReceived(copy, l); });
-        },
+        [this, l](const Frame& f, TimeNs txEnd) { onTxComplete(l, f, txEnd); },
         faults_.get());
     for (const sched::CbsConfig& cbs : program_.cbs) {
       port->configureCbs(cbs.queue, cbs.idleSlopeFraction);
@@ -119,6 +143,27 @@ Network::Network(const net::Topology& topo,
   }
 }
 
+void Network::onTxComplete(net::LinkId link, const Frame& f, TimeNs txEnd) {
+  if (config_.trace) config_.trace({f, link, txEnd});
+  if (faults_ != nullptr) {
+    // Cut at link: an outage that started mid-transmission kills the
+    // frame; otherwise the loss models draw a verdict.
+    if (faults_->linkDown(link, txEnd)) {
+      recorder_->onFrameDropped(f, DropCause::LinkDown);
+      return;
+    }
+    if (const auto cause = faults_->lossAt(link, txEnd)) {
+      recorder_->onFrameDropped(f, *cause);
+      return;
+    }
+  }
+  // Last bit on the wire at txEnd; full reception after the propagation
+  // delay (store-and-forward).  The port recycles its arena slot when this
+  // callback returns, so the reception leg gets its own copy.
+  const TimeNs rx = txEnd + topo_.link(link).propagationDelay;
+  sim_.post(rx, EventClass::Enqueue, rxTag_, link, sim_.frames().alloc(f));
+}
+
 void Network::emitMessage(std::int32_t specId, const std::vector<int>& payloads,
                           int priority, const std::vector<net::LinkId>& route) {
   ETSN_CHECK(!route.empty());
@@ -137,11 +182,13 @@ void Network::emitMessage(std::int32_t specId, const std::vector<int>& payloads,
     f.priority = priority;
     f.created = created;
     f.hop = 0;
-    ports_[static_cast<std::size_t>(route[0])]->enqueue(std::move(f));
+    ports_[static_cast<std::size_t>(route[0])]->enqueueHandle(
+        sim_.frames().alloc(f));
   }
 }
 
-void Network::onFrameReceived(Frame f, net::LinkId link) {
+void Network::onFrameReceived(FrameHandle h, net::LinkId link) {
+  Frame& f = sim_.frames()[h];
   const std::vector<net::LinkId>* route =
       routes_[static_cast<std::size_t>(f.specId)];
   ETSN_CHECK_MSG(route != nullptr, "frame for unknown spec");
@@ -155,26 +202,26 @@ void Network::onFrameReceived(Frame f, net::LinkId link) {
     if (d.violation) recorder_->onPolicerViolation(f.specId);
     if (!d.pass) {
       recorder_->onFrameDropped(f, DropCause::Policer);
+      sim_.frames().free(h);
       return;
     }
   }
 
   if (static_cast<std::size_t>(f.hop) + 1 == route->size()) {
     recorder_->onFrameDelivered(f, sim_.now());
+    sim_.frames().free(h);
     return;
   }
   // Forward: store-and-forward processing, then enqueue on the next hop.
+  // The frame mutates in place in the arena; only the handle travels.
   f.hop += 1;
   const net::LinkId next = (*route)[static_cast<std::size_t>(f.hop)];
-  const Frame fwd = f;
-  sim_.after(program_.switchProcessingDelay, EventClass::Enqueue,
-             [this, fwd, next]() {
-               ports_[static_cast<std::size_t>(next)]->enqueue(fwd);
-             });
+  sim_.postAfter(program_.switchProcessingDelay, EventClass::Enqueue, fwdTag_,
+                 next, h);
 }
 
-void Network::scheduleTalkerInstance(const sched::TalkerConfig& t,
-                                     std::int64_t instance) {
+void Network::scheduleTalkerInstance(std::size_t index, std::int64_t instance) {
+  const sched::TalkerConfig& t = program_.talkers[index];
   // The talker fires on its own clock (aligned with its port's gates) and
   // paces each frame to its first-link slot (802.1Qbv end station).
   const Clock& clock =
@@ -182,41 +229,44 @@ void Network::scheduleTalkerInstance(const sched::TalkerConfig& t,
   const TimeNs globalFire = std::max(
       clock.globalTimeFor(t.offset + instance * t.period), sim_.now());
   if (globalFire > config_.duration) return;
-  sim_.at(globalFire, EventClass::Enqueue, [this, &t, instance]() {
-    const std::int64_t msgInstance =
-        nextInstanceId_[static_cast<std::size_t>(t.specId)]++;
-    recorder_->onMessageCreated(t.specId, msgInstance,
-                                static_cast<int>(t.framePayloads.size()));
-    const TimeNs created = sim_.now();
-    const Clock& clk =
-        clocks_[static_cast<std::size_t>(topo_.link(t.route[0]).from)];
-    for (std::size_t j = 0; j < t.framePayloads.size(); ++j) {
-      Frame f;
-      f.specId = t.specId;
-      f.instanceId = msgInstance;
-      f.fragIndex = static_cast<int>(j);
-      f.fragCount = static_cast<int>(t.framePayloads.size());
-      f.payloadBytes = t.framePayloads[j];
-      f.priority = t.priority;
-      f.created = created;
-      f.hop = 0;
-      const TimeNs fireAt = std::max(
-          clk.globalTimeFor(t.frameOffsets[j] + instance * t.period),
-          sim_.now());
-      EgressPort* port = ports_[static_cast<std::size_t>(t.route[0])].get();
-      if (fireAt <= sim_.now()) {
-        port->enqueue(std::move(f));
-      } else {
-        sim_.at(fireAt, EventClass::Enqueue,
-                [port, f]() { port->enqueue(f); });
-      }
-    }
-    scheduleTalkerInstance(t, instance + 1);
-  });
+  sim_.post(globalFire, EventClass::Enqueue, talkerTag_,
+            static_cast<std::int32_t>(index), instance);
 }
 
-void Network::startTalker(const sched::TalkerConfig& t) {
-  scheduleTalkerInstance(t, 0);
+void Network::fireTalker(std::size_t index, std::int64_t instance) {
+  const sched::TalkerConfig& t = program_.talkers[index];
+  const std::int64_t msgInstance =
+      nextInstanceId_[static_cast<std::size_t>(t.specId)]++;
+  recorder_->onMessageCreated(t.specId, msgInstance,
+                              static_cast<int>(t.framePayloads.size()));
+  const TimeNs created = sim_.now();
+  const Clock& clk =
+      clocks_[static_cast<std::size_t>(topo_.link(t.route[0]).from)];
+  for (std::size_t j = 0; j < t.framePayloads.size(); ++j) {
+    Frame f;
+    f.specId = t.specId;
+    f.instanceId = msgInstance;
+    f.fragIndex = static_cast<int>(j);
+    f.fragCount = static_cast<int>(t.framePayloads.size());
+    f.payloadBytes = t.framePayloads[j];
+    f.priority = t.priority;
+    f.created = created;
+    f.hop = 0;
+    const TimeNs fireAt = std::max(
+        clk.globalTimeFor(t.frameOffsets[j] + instance * t.period),
+        sim_.now());
+    const FrameHandle h = sim_.frames().alloc(f);
+    if (fireAt <= sim_.now()) {
+      ports_[static_cast<std::size_t>(t.route[0])]->enqueueHandle(h);
+    } else {
+      sim_.post(fireAt, EventClass::Enqueue, talkerFrameTag_, t.route[0], h);
+    }
+  }
+  scheduleTalkerInstance(index, instance + 1);
+}
+
+void Network::startTalker(std::size_t index) {
+  scheduleTalkerInstance(index, 0);
 }
 
 void Network::scheduleNextEvent(std::size_t index, TimeNs after) {
@@ -229,11 +279,14 @@ void Network::scheduleNextEvent(std::size_t index, TimeNs after) {
                          0, static_cast<double>(window)));
   const TimeNs fire = after + gap;
   if (fire > config_.duration) return;
-  sim_.at(fire, EventClass::Enqueue, [this, index, fire]() {
-    const sched::EctSourceConfig& src = program_.ectSources[index];
-    emitMessage(src.specId, src.framePayloads, src.priority, src.route);
-    scheduleNextEvent(index, fire);
-  });
+  sim_.post(fire, EventClass::Enqueue, ectTag_,
+            static_cast<std::int32_t>(index), fire);
+}
+
+void Network::fireEctSource(std::size_t index, TimeNs at) {
+  const sched::EctSourceConfig& src = program_.ectSources[index];
+  emitMessage(src.specId, src.framePayloads, src.priority, src.route);
+  scheduleNextEvent(index, at);
 }
 
 void Network::startEctSource(std::size_t index) {
@@ -242,18 +295,15 @@ void Network::startEctSource(std::size_t index) {
   // First event: uniformly random phase within one interevent time.
   const TimeNs first = static_cast<TimeNs>(
       rng.uniformReal(0, static_cast<double>(e.minInterevent)));
-  sim_.at(first, EventClass::Enqueue, [this, index, first]() {
-    const sched::EctSourceConfig& src = program_.ectSources[index];
-    emitMessage(src.specId, src.framePayloads, src.priority, src.route);
-    scheduleNextEvent(index, first);
-  });
+  sim_.post(first, EventClass::Enqueue, ectTag_,
+            static_cast<std::int32_t>(index), first);
 }
 
 void Network::startPtp() {
   if (config_.clockDriftPpbMax <= 0) return;
   // Periodic 802.1AS-style correction on every node.
   for (int n = 0; n < topo_.numNodes(); ++n) {
-    sim_.at(0, EventClass::Control, [this, n]() { ptpSync(n); });
+    sim_.post(0, EventClass::Control, ptpTag_, n);
   }
 }
 
@@ -265,19 +315,23 @@ void Network::ptpSync(int node) {
     clocks_[static_cast<std::size_t>(node)].synchronize(sim_.now(), residual);
   }  // else: the correction is lost and drift keeps accumulating
   if (sim_.now() + config_.syncInterval <= config_.duration) {
-    sim_.after(config_.syncInterval, EventClass::Control,
-               [this, node]() { ptpSync(node); });
+    sim_.postAfter(config_.syncInterval, EventClass::Control, ptpTag_, node);
   }
 }
 
-void Network::scheduleBabble(const BabblingSource& b, TimeNs at) {
+void Network::scheduleBabble(std::size_t index, TimeNs at) {
+  const BabblingSource& b = config_.faults.babblers[index];
   if (at >= b.stop || at > config_.duration) return;
-  sim_.at(at, EventClass::Enqueue, [this, b, at]() {
-    const sched::EctSourceConfig& src =
-        program_.ectSources[static_cast<std::size_t>(b.ectIndex)];
-    emitMessage(src.specId, src.framePayloads, src.priority, src.route);
-    scheduleBabble(b, at + b.interval);
-  });
+  sim_.post(at, EventClass::Enqueue, babbleTag_,
+            static_cast<std::int32_t>(index), at);
+}
+
+void Network::fireBabble(std::size_t index, TimeNs at) {
+  const BabblingSource& b = config_.faults.babblers[index];
+  const sched::EctSourceConfig& src =
+      program_.ectSources[static_cast<std::size_t>(b.ectIndex)];
+  emitMessage(src.specId, src.framePayloads, src.priority, src.route);
+  scheduleBabble(index, at + b.interval);
 }
 
 void Network::startFaults() {
@@ -301,19 +355,20 @@ void Network::startFaults() {
       });
     }
   }
-  for (const BabblingSource& b : config_.faults.babblers) {
+  for (std::size_t i = 0; i < config_.faults.babblers.size(); ++i) {
+    const BabblingSource& b = config_.faults.babblers[i];
     if (!b.active()) continue;
     ETSN_CHECK_MSG(b.ectIndex >= 0 &&
                        static_cast<std::size_t>(b.ectIndex) <
                            program_.ectSources.size(),
                    "babbling source references unknown ECT source "
                        << b.ectIndex);
-    scheduleBabble(b, b.start);
+    scheduleBabble(i, b.start);
   }
 }
 
 void Network::run() {
-  for (const auto& t : program_.talkers) startTalker(t);
+  for (std::size_t i = 0; i < program_.talkers.size(); ++i) startTalker(i);
   ectRngs_.clear();
   for (std::size_t i = 0; i < program_.ectSources.size(); ++i) {
     ectRngs_.push_back(rng_.fork());

@@ -83,16 +83,19 @@ class Network {
   const IngressPolicer* policer() const { return policer_.get(); }
 
  private:
-  void startTalker(const sched::TalkerConfig& t);
-  void scheduleTalkerInstance(const sched::TalkerConfig& t,
-                              std::int64_t instance);
+  void startTalker(std::size_t index);
+  void scheduleTalkerInstance(std::size_t index, std::int64_t instance);
+  void fireTalker(std::size_t index, std::int64_t instance);
   void startEctSource(std::size_t index);
   void scheduleNextEvent(std::size_t index, TimeNs after);
+  void fireEctSource(std::size_t index, TimeNs at);
   void startFaults();
-  void scheduleBabble(const BabblingSource& b, TimeNs at);
+  void scheduleBabble(std::size_t index, TimeNs at);
+  void fireBabble(std::size_t index, TimeNs at);
   void emitMessage(std::int32_t specId, const std::vector<int>& payloads,
                    int priority, const std::vector<net::LinkId>& route);
-  void onFrameReceived(Frame f, net::LinkId link);
+  void onFrameReceived(FrameHandle h, net::LinkId link);
+  void onTxComplete(net::LinkId link, const Frame& f, TimeNs txEnd);
   void startPtp();
   void ptpSync(int node);
 
@@ -109,6 +112,17 @@ class Network {
   std::vector<std::int64_t> nextInstanceId_;  // per spec
   std::vector<Rng> ectRngs_;                  // per ECT source
   std::vector<const std::vector<net::LinkId>*> routes_;  // per spec
+
+  // Typed-event jump-table tags (registered once at construction; event
+  // records carry (tag, link-or-index, frame-handle-or-time) instead of
+  // heap-allocated closures).
+  int rxTag_ = 0;          // a = link, b = frame handle
+  int fwdTag_ = 0;         // a = next link, b = frame handle
+  int talkerTag_ = 0;      // a = talker index, b = instance
+  int talkerFrameTag_ = 0; // a = first-hop link, b = frame handle
+  int ectTag_ = 0;         // a = source index, b = fire time
+  int babbleTag_ = 0;      // a = babbler index, b = fire time
+  int ptpTag_ = 0;         // a = node
 };
 
 }  // namespace etsn::sim

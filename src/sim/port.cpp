@@ -14,7 +14,11 @@ EgressPort::EgressPort(Simulator& sim, const net::Link& link,
       gcl_(gcl),
       clock_(clock),
       faults_(faults),
-      onTxComplete_(std::move(onTxComplete)) {}
+      onTxComplete_(std::move(onTxComplete)) {
+  serviceTag_ = sim_.registerHandler(&EgressPort::onServiceEvent, this);
+  txDoneTag_ = sim_.registerHandler(&EgressPort::onTxDoneEvent, this);
+  wakeTag_ = sim_.registerHandler(&EgressPort::onWakeEvent, this);
+}
 
 void EgressPort::configureCbs(int queue, double idleSlopeFraction) {
   ETSN_CHECK(queue >= 0 && queue < net::kNumQueues);
@@ -37,21 +41,55 @@ void EgressPort::setQueueCapacity(int capacity, DropFn onDrop) {
 
 void EgressPort::enqueue(Frame f) {
   ETSN_CHECK(f.priority >= 0 && f.priority < net::kNumQueues);
+  enqueueHandle(sim_.frames().alloc(f));
+}
+
+void EgressPort::enqueueHandle(FrameHandle h) {
+  const Frame& f = sim_.frames()[h];
+  ETSN_CHECK(f.priority >= 0 && f.priority < net::kNumQueues);
   auto& q = queues_[static_cast<std::size_t>(f.priority)];
   if (queueCapacity_ > 0 &&
       q.size() >= static_cast<std::size_t>(queueCapacity_)) {
     ++stats_.framesDroppedOverflow;
     if (onDrop_) onDrop_(f, DropCause::QueueOverflow);
+    sim_.frames().free(h);
     return;
   }
-  q.push_back(std::move(f));
+  q.push(h);
   stats_.maxQueueDepth =
       std::max(stats_.maxQueueDepth, static_cast<std::int64_t>(q.size()));
-  syncCbs(sim_.now());
+  const TimeNs now = sim_.now();
+  syncCbs(now);
   // Defer transmission selection to a PortService event at the same
   // instant so all same-tick arrivals are visible to one selection (as on
-  // hardware, where queues fill before the gate's clock edge).
-  sim_.at(sim_.now(), EventClass::PortService, [this]() { service(); });
+  // hardware, where queues fill before the gate's clock edge).  One event
+  // covers all same-instant arrivals, and a busy port needs none at all —
+  // the tx-complete event re-runs selection.
+  if (!servicePending_ && busyUntil_ <= now) {
+    servicePending_ = true;
+    sim_.post(now, EventClass::PortService, serviceTag_);
+  }
+}
+
+void EgressPort::onServiceEvent(void* ctx, std::int32_t, std::int64_t) {
+  auto* self = static_cast<EgressPort*>(ctx);
+  self->servicePending_ = false;
+  self->service();
+}
+
+void EgressPort::onTxDoneEvent(void* ctx, std::int32_t, std::int64_t handle) {
+  auto* self = static_cast<EgressPort*>(ctx);
+  const auto h = static_cast<FrameHandle>(handle);
+  self->onTxComplete_(self->sim_.frames()[h], self->sim_.now());
+  self->sim_.frames().free(h);
+  self->service();
+}
+
+void EgressPort::onWakeEvent(void* ctx, std::int32_t, std::int64_t at) {
+  auto* self = static_cast<EgressPort*>(ctx);
+  if (self->nextWakeAt_ == at) self->nextWakeAt_ = -1;
+  self->syncCbs(self->sim_.now());
+  self->service();
 }
 
 void EgressPort::syncCbs(TimeNs now) {
@@ -65,12 +103,13 @@ void EgressPort::syncCbs(TimeNs now) {
   cbs_->setState(now, gateOpen, hasFrames, sending);
 }
 
-bool EgressPort::queueEligible(int q, TimeNs localNow, TimeNs globalNow) {
+bool EgressPort::queueEligible(int q, std::uint8_t openMask, TimeNs localNow,
+                               TimeNs globalNow) {
   const auto& queue = queues_[static_cast<std::size_t>(q)];
   if (queue.empty()) return false;
-  const TimeNs txT = txTimeFor(queue.front());
+  const TimeNs txT = txTimeFor(sim_.frames()[queue.front()]);
   if (gcl_ != nullptr && gcl_->installed()) {
-    if (!gcl_->gateOpen(q, localNow)) return false;
+    if (((openMask >> q) & 1) == 0) return false;
     // Length-aware Qbv: transmission must finish before the gate closes.
     if (gcl_->openTimeRemaining(q, localNow) < txT) return false;
   }
@@ -97,12 +136,14 @@ void EgressPort::service() {
     return;
   }
   const TimeNs localNow = clock_->localTime(now);
+  const std::uint8_t openMask =
+      (gcl_ != nullptr && gcl_->installed()) ? gcl_->maskAt(localNow) : 0xFF;
 
   // Strict priority among eligible queues.
   for (int q = net::kNumQueues - 1; q >= 0; --q) {
-    if (!queueEligible(q, localNow, now)) continue;
-    Frame f = std::move(queues_[static_cast<std::size_t>(q)].front());
-    queues_[static_cast<std::size_t>(q)].pop_front();
+    if (!queueEligible(q, openMask, localNow, now)) continue;
+    const FrameHandle h = queues_[static_cast<std::size_t>(q)].pop();
+    const Frame& f = sim_.frames()[h];
     const TimeNs txT = txTimeFor(f);
     busyUntil_ = now + txT;
     sendingQueue_ = q;
@@ -110,10 +151,7 @@ void EgressPort::service() {
     ++stats_.framesSent;
     stats_.bytesSent += net::wireBytes(f.payloadBytes);
     stats_.busyTime += txT;
-    sim_.at(busyUntil_, EventClass::PortService, [this, f]() {
-      onTxComplete_(f, sim_.now());
-      service();
-    });
+    sim_.post(busyUntil_, EventClass::PortService, txDoneTag_, 0, h);
     return;
   }
 
@@ -128,7 +166,7 @@ void EgressPort::service() {
   for (int q = 0; q < net::kNumQueues; ++q) {
     if (queues_[static_cast<std::size_t>(q)].empty()) continue;
     if (gcl_ != nullptr && gcl_->installed()) {
-      if (!gcl_->gateOpen(q, localNow)) {
+      if (((openMask >> q) & 1) == 0) {
         const TimeNs localOpen = gcl_->nextOpen(q, localNow);
         if (localOpen >= 0) consider(clock_->globalTimeFor(localOpen));
         continue;
@@ -150,11 +188,7 @@ void EgressPort::scheduleWake(TimeNs t) {
     return;  // an earlier or equal wake is already pending
   }
   nextWakeAt_ = t;
-  sim_.at(t, EventClass::PortService, [this, t]() {
-    if (nextWakeAt_ == t) nextWakeAt_ = -1;
-    syncCbs(sim_.now());
-    service();
-  });
+  sim_.post(t, EventClass::PortService, wakeTag_, 0, t);
 }
 
 }  // namespace etsn::sim

@@ -14,7 +14,7 @@ void Recorder::onMessageCreated(std::int32_t specId, std::int64_t instanceId,
   StreamRecord& r = records_[static_cast<std::size_t>(specId)];
   ++r.messagesSent;
   r.framesEmitted += expectedFrames;
-  Pending& p = pending_[{specId, instanceId}];
+  Pending& p = pending_.upsert(specId, instanceId);
   ETSN_CHECK_MSG(p.expected == 0, "duplicate message instance");
   p.expected = expectedFrames;
 }
@@ -22,10 +22,9 @@ void Recorder::onMessageCreated(std::int32_t specId, std::int64_t instanceId,
 void Recorder::onFrameDelivered(const Frame& f, TimeNs deliveredAt) {
   ETSN_CHECK(f.specId >= 0 &&
              static_cast<std::size_t>(f.specId) < records_.size());
-  const auto key = std::make_pair(f.specId, f.instanceId);
-  const auto it = pending_.find(key);
-  ETSN_CHECK_MSG(it != pending_.end(), "delivery for unknown instance");
-  Pending& p = it->second;
+  Pending* pp = pending_.find(f.specId, f.instanceId);
+  ETSN_CHECK_MSG(pp != nullptr, "delivery for unknown instance");
+  Pending& p = *pp;
   ++p.received;
   p.lastArrival = std::max(p.lastArrival, deliveredAt);
 
@@ -41,7 +40,7 @@ void Recorder::onFrameDelivered(const Frame& f, TimeNs deliveredAt) {
   }
   // All frames accounted for (a message with drops was already counted
   // in messagesLost at its first drop).
-  pending_.erase(it);
+  pending_.erase(f.specId, f.instanceId);
 }
 
 void Recorder::onFrameDropped(const Frame& f, DropCause cause) {
@@ -62,13 +61,14 @@ void Recorder::onFrameDropped(const Frame& f, DropCause cause) {
       ++r.framesDroppedLoss;
       break;
   }
-  const auto key = std::make_pair(f.specId, f.instanceId);
-  const auto it = pending_.find(key);
-  ETSN_CHECK_MSG(it != pending_.end(), "drop for unknown instance");
-  Pending& p = it->second;
+  Pending* pp = pending_.find(f.specId, f.instanceId);
+  ETSN_CHECK_MSG(pp != nullptr, "drop for unknown instance");
+  Pending& p = *pp;
   if (p.dropped == 0) ++r.messagesLost;  // can never complete now
   ++p.dropped;
-  if (p.received + p.dropped == p.expected) pending_.erase(it);
+  if (p.received + p.dropped == p.expected) {
+    pending_.erase(f.specId, f.instanceId);
+  }
 }
 
 void Recorder::onPolicerViolation(std::int32_t specId) {
@@ -86,11 +86,11 @@ void Recorder::onPolicerBlockStart(std::int32_t specId) {
 void Recorder::finalize() {
   ETSN_CHECK_MSG(!finalized_, "Recorder::finalize called twice");
   finalized_ = true;
-  for (const auto& [key, p] : pending_) {
-    StreamRecord& r = records_[static_cast<std::size_t>(key.first)];
+  pending_.forEach([this](std::int32_t spec, std::int64_t, const Pending& p) {
+    StreamRecord& r = records_[static_cast<std::size_t>(spec)];
     if (p.dropped == 0) ++r.messagesUnterminated;  // else already lost
     r.framesInFlight += p.expected - p.received - p.dropped;
-  }
+  });
 }
 
 }  // namespace etsn::sim

@@ -15,15 +15,18 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "common/check.h"
 #include "common/time.h"
 #include "sim/frame.h"
 
 namespace etsn::sim {
 
-struct StreamRecord {
+// Cache-line aligned: campaign workers mutate the records of *different*
+// Recorder instances concurrently, and without the alignment two tasks'
+// counters can land on one line (false sharing across the pool's threads).
+struct alignas(64) StreamRecord {
   std::vector<TimeNs> latencies;   // completed message latencies
   std::int64_t messagesSent = 0;
   std::int64_t messagesDelivered = 0;
@@ -102,8 +105,117 @@ class Recorder {
     int dropped = 0;
     TimeNs lastArrival = 0;
   };
+
+  /// Open-addressing hash over (specId, instanceId) with linear probing and
+  /// backward-shift deletion (no tombstones — the table sees one erase per
+  /// completed message, so tombstone buildup would dominate).  Replaces
+  /// std::map: lookups touch one or two cache lines and inserts allocate
+  /// only on growth, keeping the per-frame bookkeeping off the heap.
+  class PendingMap {
+   public:
+    std::size_t size() const { return size_; }
+
+    /// Insert-if-absent; returns the (possibly fresh, zeroed) value.
+    Pending& upsert(std::int32_t spec, std::int64_t inst) {
+      if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
+      std::size_t i = probe(spec, inst);
+      if (!slots_[i].used) {
+        slots_[i] = Slot{spec, inst, Pending{}, true};
+        ++size_;
+      }
+      return slots_[i].value;
+    }
+
+    /// Null when the key is absent.
+    Pending* find(std::int32_t spec, std::int64_t inst) {
+      const std::size_t i = probe(spec, inst);
+      return slots_[i].used ? &slots_[i].value : nullptr;
+    }
+
+    void erase(std::int32_t spec, std::int64_t inst) {
+      std::size_t i = probe(spec, inst);
+      ETSN_CHECK(slots_[i].used);
+      const std::size_t mask = slots_.size() - 1;
+      // Backward-shift: pull every displaced follower of the probe chain
+      // into the hole so probing stays gap-free.
+      std::size_t hole = i;
+      for (std::size_t j = (i + 1) & mask; slots_[j].used;
+           j = (j + 1) & mask) {
+        const std::size_t home = indexFor(slots_[j].spec, slots_[j].inst);
+        // j's key may move to `hole` only if its home precedes or equals
+        // the hole along the (wrapping) probe order.
+        const bool movable = ((j - home) & mask) >= ((j - hole) & mask);
+        if (movable) {
+          slots_[hole] = slots_[j];
+          hole = j;
+        }
+      }
+      slots_[hole].used = false;
+      --size_;
+    }
+
+    template <typename Fn>
+    void forEach(Fn&& fn) const {
+      for (const Slot& s : slots_) {
+        if (s.used) fn(s.spec, s.inst, s.value);
+      }
+    }
+
+   private:
+    struct Slot {
+      std::int32_t spec = 0;
+      std::int64_t inst = 0;
+      Pending value;
+      bool used = false;
+    };
+
+    static std::uint64_t hash(std::int32_t spec, std::int64_t inst) {
+      // splitmix64 finalizer over the combined key.
+      std::uint64_t x = (static_cast<std::uint64_t>(
+                             static_cast<std::uint32_t>(spec))
+                         << 48) ^
+                        static_cast<std::uint64_t>(inst);
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ULL;
+      x ^= x >> 27;
+      x *= 0x94d049bb133111ebULL;
+      x ^= x >> 31;
+      return x;
+    }
+
+    std::size_t indexFor(std::int32_t spec, std::int64_t inst) const {
+      return static_cast<std::size_t>(hash(spec, inst)) &
+             (slots_.size() - 1);
+    }
+
+    /// First slot that holds the key or is free, in probe order.
+    std::size_t probe(std::int32_t spec, std::int64_t inst) const {
+      const std::size_t mask = slots_.size() - 1;
+      std::size_t i = indexFor(spec, inst);
+      while (slots_[i].used &&
+             (slots_[i].spec != spec || slots_[i].inst != inst)) {
+        i = (i + 1) & mask;
+      }
+      return i;
+    }
+
+    void grow() {
+      std::vector<Slot> old;
+      old.swap(slots_);
+      slots_.assign(old.size() * 2, Slot{});
+      for (const Slot& s : old) {
+        if (!s.used) continue;
+        std::size_t i = probe(s.spec, s.inst);
+        slots_[i] = s;
+      }
+    }
+
+    std::vector<Slot> slots_ = std::vector<Slot>(64);
+    std::size_t size_ = 0;
+  };
+
   std::vector<StreamRecord> records_;
-  std::map<std::pair<std::int32_t, std::int64_t>, Pending> pending_;
+  PendingMap pending_;
   bool finalized_ = false;
 };
 

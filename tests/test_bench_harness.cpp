@@ -88,8 +88,27 @@ TEST(BenchHarness, MalformedNumbersFail) {
   EXPECT_FALSE(tryParse({"--duration", "abc"}, &a, &err));
   EXPECT_FALSE(tryParse({"--duration", "0"}, &a, &err));   // must be > 0
   EXPECT_FALSE(tryParse({"--duration", "-1"}, &a, &err));
-  EXPECT_FALSE(tryParse({"--threads", "-1"}, &a, &err));   // 0 is allowed
-  EXPECT_TRUE(tryParse({"--threads", "0"}, &a, &err)) << err;
+}
+
+TEST(BenchHarness, ThreadCountMustBePositive) {
+  Args a;
+  std::string err;
+  // An explicit count must be >= 1; "--threads 0" used to silently mean
+  // hardware concurrency, and negatives only produced the generic
+  // "not a valid number" message.  Both now fail with a usage error that
+  // says what to do instead.
+  EXPECT_FALSE(tryParse({"--threads", "0"}, &a, &err));
+  EXPECT_NE(err.find("must be >= 1"), std::string::npos) << err;
+  EXPECT_NE(err.find("omit the flag"), std::string::npos) << err;
+  EXPECT_FALSE(tryParse({"--threads", "-4"}, &a, &err));
+  EXPECT_NE(err.find("must be >= 1"), std::string::npos) << err;
+  EXPECT_FALSE(tryParse({"--threads", "2x"}, &a, &err));
+  EXPECT_NE(err.find("not a valid number"), std::string::npos) << err;
+  // The boundary value and the flag-absent default both still work.
+  ASSERT_TRUE(tryParse({"--threads", "1"}, &a, &err)) << err;
+  EXPECT_EQ(a.threads, 1);
+  ASSERT_TRUE(tryParse({}, &a, &err)) << err;
+  EXPECT_EQ(a.threads, 0);  // internal sentinel: use hardware concurrency
 }
 
 TEST(BenchHarness, StrictParsersRejectJunkAndOverflow) {

@@ -101,5 +101,38 @@ TEST(Facade, ValidateScheduleFlag) {
   EXPECT_NO_THROW(runExperiment(ex));
 }
 
+TEST(Facade, PresolvedScheduleMatchesFreshSolve) {
+  // Sweeps reuse one solve across cells that differ only in runtime knobs;
+  // the reused path must be indistinguishable from solving in place.
+  Experiment ex = smallExperiment();
+  const auto fresh = runExperiment(ex);
+  ex.presolved = solveSchedule(ex);
+  const auto reused = runExperiment(ex);
+  ASSERT_TRUE(fresh.feasible && reused.feasible);
+  ASSERT_EQ(fresh.streams.size(), reused.streams.size());
+  for (std::size_t i = 0; i < fresh.streams.size(); ++i) {
+    EXPECT_EQ(fresh.streams[i].samples, reused.streams[i].samples);
+    EXPECT_EQ(fresh.streams[i].delivered, reused.streams[i].delivered);
+  }
+}
+
+TEST(Facade, PresolvedMismatchRejected) {
+  Experiment ex = smallExperiment();
+  ex.presolved = solveSchedule(ex);
+
+  Experiment wrongMethod = ex;
+  wrongMethod.options.method = sched::Method::AVB;
+  EXPECT_THROW(runExperiment(wrongMethod), ConfigError);
+
+  Experiment wrongSpecs = ex;
+  wrongSpecs.specs.push_back(
+      workload::makeEct("extra", 0, 2, milliseconds(16), 800));
+  EXPECT_THROW(runExperiment(wrongSpecs), ConfigError);
+
+  Experiment wrongName = ex;
+  wrongName.specs[0].name = "renamed";
+  EXPECT_THROW(runExperiment(wrongName), ConfigError);
+}
+
 }  // namespace
 }  // namespace etsn
