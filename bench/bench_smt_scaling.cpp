@@ -1,10 +1,31 @@
-// Ablation C — SMT engine scaling: schedule synthesis cost as the TCT
-// stream count grows on the simulation topology, plus a comparison with
-// the first-fit heuristic engine (§VII-C's speed/completeness trade-off).
+// Ablation C — scheduler engine scaling: schedule synthesis cost as the
+// TCT stream count grows on the simulation topology, comparing the exact
+// SMT engine with the first-fit heuristic and the portfolio families
+// (§VII-C's speed/completeness trade-off).
+//
+// Besides the table, emits machine-readable BENCH_sched.json (one row per
+// size x engine) so the perf trajectory of scheduling is tracked across
+// commits; bench_sched_portfolio appends the scaled-topology picture to
+// the same schema.  --json PATH overrides the output path.
 #include <chrono>
 
 #include "harness.h"
 #include "sched/validate.h"
+
+namespace {
+
+struct Row {
+  int streams = 0;
+  std::string engine;
+  double solveSeconds = 0;
+  long long conflicts = 0;
+  long long clauses = 0;
+  long long intvars = 0;
+  bool feasible = false;
+  bool valid = false;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace etsn;
@@ -18,8 +39,10 @@ int main(int argc, char** argv) {
   const std::vector<int> sizes = args.full
                                      ? std::vector<int>{5, 10, 20, 30, 40}
                                      : std::vector<int>{5, 10, 20};
+  const std::vector<std::string> engines = {"smt", "heuristic", "portfolio"};
+  std::vector<Row> rows;
   for (const int n : sizes) {
-    for (const bool heuristic : {false, true}) {
+    for (const std::string& engine : engines) {
       net::Topology topo = net::makeSimulationTopology();
       workload::TctWorkload w;
       w.numStreams = n;
@@ -30,20 +53,44 @@ int main(int argc, char** argv) {
       specs.push_back(workload::makeEct("ect", 0, 11, milliseconds(10), 1500));
       sched::ScheduleOptions opt;
       opt.config.numProbabilistic = args.numProbabilistic;
-      opt.useHeuristic = heuristic;
+      opt.engine = sched::engineFromString(engine);
+      opt.portfolio.seed = args.seed;
+      opt.portfolio.threads = args.threads;
       const auto ms = sched::buildSchedule(topo, specs, opt);
-      const bool valid =
-          ms.schedule.info.feasible &&
-          sched::validate(topo, ms.schedule).empty();
+      Row row;
+      row.streams = n;
+      row.engine = ms.schedule.info.engine;
+      row.solveSeconds = ms.schedule.info.solveSeconds;
+      row.conflicts = ms.schedule.info.smtConflicts;
+      row.clauses = ms.schedule.info.smtClauses;
+      row.intvars = ms.schedule.info.smtIntVars;
+      row.feasible = ms.schedule.info.feasible;
+      row.valid = row.feasible && sched::validate(topo, ms.schedule).empty();
+      rows.push_back(row);
       std::printf("%-8d %-10s %10.2f %12lld %12lld %10lld %8s\n", n,
-                  ms.schedule.info.engine.c_str(),
-                  ms.schedule.info.solveSeconds,
-                  static_cast<long long>(ms.schedule.info.smtConflicts),
-                  static_cast<long long>(ms.schedule.info.smtClauses),
-                  static_cast<long long>(ms.schedule.info.smtIntVars),
-                  ms.schedule.info.feasible ? (valid ? "yes" : "NO!")
-                                            : "infeas");
+                  row.engine.c_str(), row.solveSeconds, row.conflicts,
+                  row.clauses, row.intvars,
+                  row.feasible ? (row.valid ? "yes" : "NO!") : "infeas");
     }
+  }
+
+  const std::string path =
+      args.jsonPath.empty() ? "BENCH_sched.json" : args.jsonPath;
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"smt_scaling\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"streams\": " << r.streams << ", \"engine\": \""
+        << r.engine << "\", \"solve_seconds\": " << r.solveSeconds
+        << ", \"conflicts\": " << r.conflicts << ", \"clauses\": "
+        << r.clauses << ", \"intvars\": " << r.intvars
+        << ", \"feasible\": " << (r.feasible ? "true" : "false")
+        << ", \"valid\": " << (r.valid ? "true" : "false") << "}"
+        << (i + 1 == rows.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+  if (out) {
+    std::printf("[smt_scaling: machine-readable rows -> %s]\n", path.c_str());
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "sched/expand.h"
+#include "sched/placement.h"  // shared gcd-periodic overlap/push math
 
 namespace etsn::sched {
 
@@ -26,34 +27,6 @@ HeuristicPlacer::HeuristicPlacer(const net::Topology& topo,
   }
   if (tu_ == 0) tu_ = microseconds(1);
   byLink_.resize(static_cast<std::size_t>(topo_.numLinks()));
-}
-
-bool HeuristicPlacer::periodicOverlap(std::int64_t a, std::int64_t la,
-                                      std::int64_t ta, std::int64_t b,
-                                      std::int64_t lb, std::int64_t tb) {
-  // Overlap iff some multiple of g = gcd(ta, tb) lies strictly inside
-  // (a - b - lb, a - b + la).
-  const std::int64_t g = std::gcd(ta, tb);
-  const std::int64_t lo = a - b - lb;  // exclusive
-  const std::int64_t hi = a - b + la;  // exclusive
-  // Smallest multiple of g strictly greater than lo:
-  std::int64_t k = (lo >= 0) ? (lo / g + 1) : -((-lo) / g);
-  if (k * g <= lo) ++k;
-  return k * g < hi;
-}
-
-std::int64_t HeuristicPlacer::pushPast(std::int64_t a, std::int64_t /*la*/,
-                                       std::int64_t ta, std::int64_t b,
-                                       std::int64_t lb, std::int64_t tb) {
-  // Move `a` forward to the end of the earliest colliding occurrence.
-  const std::int64_t g = std::gcd(ta, tb);
-  const std::int64_t lo = a - b - lb;
-  std::int64_t k = (lo >= 0) ? (lo / g + 1) : -((-lo) / g);
-  if (k * g <= lo) ++k;
-  // The colliding occurrence starts at b + k*g; clear it.
-  const std::int64_t aNew = b + k * g + lb;
-  ETSN_CHECK(aNew > a);
-  return aNew;
 }
 
 bool HeuristicPlacer::canOverlapWith(const ExpandedStream& s,
@@ -95,8 +68,9 @@ std::int64_t HeuristicPlacer::findStart(const ExpandedStream& s,
       const bool isolate = needsIsolation(s, p);
       if (canOverlapWith(s, p) && !isolate) continue;
       // Slot non-overlap check (5).
-      if (periodicOverlap(a, len, period, p.start, p.len, p.period)) {
-        a = pushPast(a, len, period, p.start, p.len, p.period);
+      if (periodicIntervalsOverlap(a, len, period, p.start, p.len,
+                                   p.period)) {
+        a = pushPastPeriodic(a, period, p.start, p.len, p.period);
         moved = true;
         if (a > hi) return -1;
         continue;

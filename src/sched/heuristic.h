@@ -48,14 +48,6 @@ class HeuristicPlacer {
                          std::int64_t lb, std::int64_t hi, std::int64_t len,
                          std::int64_t arrival);
 
-  static bool periodicOverlap(std::int64_t a, std::int64_t la,
-                              std::int64_t ta, std::int64_t b,
-                              std::int64_t lb, std::int64_t tb);
-  /// Smallest a' >= a resolving the overlap of (a,la,ta) vs (b,lb,tb).
-  static std::int64_t pushPast(std::int64_t a, std::int64_t la,
-                               std::int64_t ta, std::int64_t b,
-                               std::int64_t lb, std::int64_t tb);
-
   bool canOverlapWith(const ExpandedStream& s, const Placed& p) const;
   bool needsIsolation(const ExpandedStream& s, const Placed& p) const;
 

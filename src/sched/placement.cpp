@@ -1,0 +1,478 @@
+#include "sched/placement.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "sched/expand.h"
+
+namespace etsn::sched {
+
+bool periodicIntervalsOverlap(std::int64_t a, std::int64_t la,
+                              std::int64_t ta, std::int64_t b,
+                              std::int64_t lb, std::int64_t tb) {
+  // Overlap iff some multiple of g = gcd(ta, tb) lies strictly inside
+  // (a - b - lb, a - b + la).
+  const std::int64_t g = std::gcd(ta, tb);
+  const std::int64_t lo = a - b - lb;  // exclusive
+  const std::int64_t hi = a - b + la;  // exclusive
+  std::int64_t k = (lo >= 0) ? (lo / g + 1) : -((-lo) / g);
+  if (k * g <= lo) ++k;
+  return k * g < hi;
+}
+
+std::int64_t pushPastPeriodic(std::int64_t a, std::int64_t ta, std::int64_t b,
+                              std::int64_t lb, std::int64_t tb) {
+  // Move `a` forward to the end of the earliest colliding occurrence.
+  const std::int64_t g = std::gcd(ta, tb);
+  const std::int64_t lo = a - b - lb;
+  std::int64_t k = (lo >= 0) ? (lo / g + 1) : -((-lo) / g);
+  if (k * g <= lo) ++k;
+  const std::int64_t aNew = b + k * g + lb;
+  ETSN_CHECK(aNew > a);
+  return aNew;
+}
+
+namespace {
+
+inline bool testBit(const std::vector<std::uint64_t>& w, std::int64_t pos) {
+  return (w[static_cast<std::size_t>(pos >> 6)] >>
+          (static_cast<unsigned>(pos) & 63)) & 1u;
+}
+
+inline void setBit(std::vector<std::uint64_t>& w, std::int64_t pos) {
+  w[static_cast<std::size_t>(pos >> 6)] |=
+      std::uint64_t{1} << (static_cast<unsigned>(pos) & 63);
+}
+
+inline void clearBit(std::vector<std::uint64_t>& w, std::int64_t pos) {
+  w[static_cast<std::size_t>(pos >> 6)] &=
+      ~(std::uint64_t{1} << (static_cast<unsigned>(pos) & 63));
+}
+
+inline std::size_t bitWords(std::int64_t bits) {
+  return static_cast<std::size_t>((bits + 63) / 64);
+}
+
+}  // namespace
+
+Placement::Placement(const net::Topology& topo,
+                     const std::vector<ExpandedStream>& streams,
+                     const SchedulerConfig& config)
+    : topo_(topo), streams_(&streams), config_(config) {
+  for (const ExpandedStream& s : streams) {
+    for (const net::LinkId l : s.path) {
+      const TimeNs linkTu = topo_.link(l).timeUnit;
+      if (tu_ == 0) tu_ = linkTu;
+      if (linkTu != tu_) {
+        throw ConfigError(
+            "heuristic scheduling requires a uniform time unit across links");
+      }
+    }
+  }
+  if (tu_ == 0) tu_ = microseconds(1);
+  links_.resize(static_cast<std::size_t>(topo_.numLinks()));
+  starts_.resize(streams.size());
+  epoch_.assign(streams.size(), 0);
+
+  if (!streams.empty()) {
+    std::vector<std::int64_t> periods;
+    for (const ExpandedStream& s : streams) {
+      ETSN_CHECK_MSG(s.period > 0 && s.period % tu_ == 0,
+                     "stream period must be a positive multiple of tu");
+      periods.push_back(s.period / tu_);
+    }
+    hyperTu_ = lcmAll(periods);
+    useBitmap_ = hyperTu_ <= kMaxBitmapTu;
+  }
+}
+
+bool Placement::canOverlapWith(const ExpandedStream& s,
+                               const Placed& p) const {
+  const ExpandedStream& o = (*streams_)[static_cast<std::size_t>(p.stream)];
+  if (s.kind == StreamKind::Prob && o.kind == StreamKind::Prob) {
+    return s.specId == o.specId;
+  }
+  if (s.kind == StreamKind::Prob && o.kind == StreamKind::Det) return o.share;
+  if (o.kind == StreamKind::Prob && s.kind == StreamKind::Det) return s.share;
+  return false;
+}
+
+bool Placement::needsIsolation(const ExpandedStream& s,
+                               const Placed& p) const {
+  // Like the first-fit placer, the incremental engines realize the
+  // FifoOrder flavour of isolation (see heuristic.h).
+  if (config_.isolation == SchedulerConfig::Isolation::None) return false;
+  const ExpandedStream& o = (*streams_)[static_cast<std::size_t>(p.stream)];
+  return s.kind == StreamKind::Det && o.kind == StreamKind::Det &&
+         s.priority == o.priority && s.id != o.id;
+}
+
+std::vector<std::uint16_t>& Placement::probSpecCounts(LinkState& ls,
+                                                      std::int32_t specId) {
+  for (auto& [id, counts] : ls.probSpec) {
+    if (id == specId) return counts;
+  }
+  ls.probSpec.emplace_back(
+      specId, std::vector<std::uint16_t>(static_cast<std::size_t>(hyperTu_)));
+  return ls.probSpec.back().second;
+}
+
+void Placement::mark(const ExpandedStream& s, LinkState& ls,
+                     std::int64_t start, std::int64_t len,
+                     std::int64_t periodTu, bool place) {
+  if (!useBitmap_) return;
+  if (ls.detAll.empty()) {
+    ls.detAll.assign(bitWords(hyperTu_), 0);
+    ls.detNoShare.assign(bitWords(hyperTu_), 0);
+  }
+  const std::int64_t reps = hyperTu_ / periodTu;
+  if (s.kind == StreamKind::Prob && ls.probCount.empty()) {
+    ls.probCount.assign(static_cast<std::size_t>(hyperTu_), 0);
+    ls.probAny.assign(bitWords(hyperTu_), 0);
+  }
+  std::vector<std::uint16_t>* spec =
+      s.kind == StreamKind::Prob ? &probSpecCounts(ls, s.specId) : nullptr;
+  for (std::int64_t r = 0; r < reps; ++r) {
+    std::int64_t pos = (start + r * periodTu) % hyperTu_;
+    for (std::int64_t i = 0; i < len; ++i) {
+      if (s.kind == StreamKind::Det) {
+        if (place) {
+          setBit(ls.detAll, pos);
+          if (!s.share) setBit(ls.detNoShare, pos);
+        } else {
+          clearBit(ls.detAll, pos);
+          if (!s.share) clearBit(ls.detNoShare, pos);
+        }
+      } else {
+        auto& all = ls.probCount[static_cast<std::size_t>(pos)];
+        auto& own = (*spec)[static_cast<std::size_t>(pos)];
+        if (place) {
+          if (++all == 1) setBit(ls.probAny, pos);
+          ++own;
+        } else {
+          ETSN_CHECK(all > 0 && own > 0);
+          if (--all == 0) clearBit(ls.probAny, pos);
+          --own;
+        }
+      }
+      if (++pos == hyperTu_) pos = 0;
+    }
+  }
+}
+
+std::int64_t Placement::bitmapPush(const ExpandedStream& s, LinkState& ls,
+                                   std::int64_t a, std::int64_t len,
+                                   std::int64_t periodTu) const {
+  if (ls.detAll.empty() && ls.probCount.empty()) return a;
+  const bool det = s.kind == StreamKind::Det;
+  const std::vector<std::uint16_t>* ownSpec = nullptr;
+  if (!det) {
+    for (const auto& [id, counts] : ls.probSpec) {
+      if (id == s.specId) ownSpec = &counts;
+    }
+  }
+  auto occupied = [&](std::int64_t pos) {
+    if (det) {
+      if (!ls.detAll.empty() && testBit(ls.detAll, pos)) return true;
+      // Non-shared TCT must also avoid every probabilistic slot.
+      return !s.share && !ls.probAny.empty() && testBit(ls.probAny, pos);
+    }
+    if (!ls.detNoShare.empty() && testBit(ls.detNoShare, pos)) return true;
+    if (ls.probCount.empty()) return false;
+    const std::uint16_t all = ls.probCount[static_cast<std::size_t>(pos)];
+    const std::uint16_t own =
+        ownSpec ? (*ownSpec)[static_cast<std::size_t>(pos)] : 0;
+    return all > own;  // a *different* ECT spec covers this tu
+  };
+  const std::int64_t reps = hyperTu_ / periodTu;
+  for (std::int64_t r = 0; r < reps; ++r) {
+    const std::int64_t base = (a + r * periodTu) % hyperTu_;
+    std::int64_t pos = base;
+    for (std::int64_t i = 0; i < len; ++i) {
+      if (occupied(pos)) {
+        // Minimal push for this repetition: slide the window start past
+        // the occupied run containing `pos`.
+        std::int64_t e = pos;
+        std::int64_t scanned = 0;
+        while (occupied(e)) {
+          if (++e == hyperTu_) e = 0;
+          if (++scanned > hyperTu_) return -1;  // link fully occupied
+        }
+        const std::int64_t dist = (e - base + hyperTu_) % hyperTu_;
+        // dist == 0: the only free run wrapped back to the window start,
+        // i.e. it is shorter than `len` — no start position fits at all.
+        if (dist == 0) return -1;
+        return a + dist;
+      }
+      if (++pos == hyperTu_) pos = 0;
+    }
+  }
+  return a;
+}
+
+std::int64_t Placement::fifoRequired(const ExpandedStream& s,
+                                     net::LinkId link, std::int64_t a,
+                                     std::int64_t arrival) const {
+  if (config_.isolation == SchedulerConfig::Isolation::None ||
+      s.kind != StreamKind::Det) {
+    return a;
+  }
+  const std::int64_t period = s.period / tu_;
+  const std::int64_t myArrival = arrival < 0 ? a : arrival;
+  std::int64_t out = a;
+  for (const Placed& p : links_[static_cast<std::size_t>(link)].placed) {
+    if (!p.det || p.priority != s.priority || p.stream == s.id) continue;
+    // FIFO consistency, resolvable direction (see heuristic.cpp): among
+    // repetition offsets d where the placed frame arrives no later than
+    // us, the binding one is the largest; our slot starts after it ends.
+    const std::int64_t g = std::gcd(period, p.period);
+    const std::int64_t diff = myArrival - p.arrival;
+    const std::int64_t dmax =
+        diff >= 0 ? (diff / g) * g : -ceilDiv(-diff, g) * g;
+    out = std::max(out, p.start + dmax + p.len);
+  }
+  return out;
+}
+
+std::int64_t Placement::findStartPairwise(const ExpandedStream& s,
+                                          net::LinkId link, std::int64_t lb,
+                                          std::int64_t hi, std::int64_t len,
+                                          std::int64_t arrival) {
+  const std::int64_t period = s.period / tu_;
+  std::int64_t a = lb;
+  bool moved = true;
+  while (moved) {
+    if (a > hi) return -1;
+    moved = false;
+    for (const Placed& p : links_[static_cast<std::size_t>(link)].placed) {
+      if (p.stream == s.id) continue;  // sequencing handled via lb
+      const bool isolate = needsIsolation(s, p);
+      if (canOverlapWith(s, p) && !isolate) continue;
+      if (periodicIntervalsOverlap(a, len, period, p.start, p.len, p.period)) {
+        a = pushPastPeriodic(a, period, p.start, p.len, p.period);
+        moved = true;
+        if (a > hi) return -1;
+        continue;
+      }
+      if (!isolate) continue;
+      const std::int64_t g = std::gcd(period, p.period);
+      const std::int64_t myArrival = arrival < 0 ? a : arrival;
+      const std::int64_t diff = myArrival - p.arrival;
+      const std::int64_t dmax =
+          diff >= 0 ? (diff / g) * g : -ceilDiv(-diff, g) * g;
+      const std::int64_t required = p.start + dmax + p.len;
+      if (a < required) {
+        a = required;
+        moved = true;
+        if (a > hi) return -1;
+      }
+    }
+  }
+  return a;
+}
+
+std::int64_t Placement::findStartBitmap(const ExpandedStream& s,
+                                        net::LinkId link, std::int64_t lb,
+                                        std::int64_t hi, std::int64_t len,
+                                        std::int64_t arrival) {
+  LinkState& ls = links_[static_cast<std::size_t>(link)];
+  const std::int64_t period = s.period / tu_;
+  std::int64_t a = lb;
+  while (true) {
+    if (a > hi) return -1;
+    const std::int64_t pushed = bitmapPush(s, ls, a, len, period);
+    if (pushed < 0) return -1;
+    if (pushed != a) {
+      a = pushed;
+      continue;
+    }
+    const std::int64_t req = fifoRequired(s, link, a, arrival);
+    if (req != a) {
+      a = req;
+      continue;
+    }
+    return a;
+  }
+}
+
+std::int64_t Placement::findStart(const ExpandedStream& s, net::LinkId link,
+                                  std::int64_t lb, std::int64_t hi,
+                                  std::int64_t len, std::int64_t arrival) {
+  return useBitmap_ ? findStartBitmap(s, link, lb, hi, len, arrival)
+                    : findStartPairwise(s, link, lb, hi, len, arrival);
+}
+
+bool Placement::placeFrames(const ExpandedStream& s,
+                            std::vector<std::vector<std::int64_t>>* starts,
+                            std::vector<std::vector<std::int64_t>>* arrivals) {
+  const std::int64_t period = s.period / tu_;
+  const std::int64_t ot = ceilDiv(s.occurrence, tu_);
+  const std::int64_t slide = ot;
+  auto& placed = *starts;
+  auto& arr = *arrivals;
+  placed.assign(static_cast<std::size_t>(s.hops()), {});
+  arr.assign(static_cast<std::size_t>(s.hops()), {});
+
+  for (int hop = 0; hop < s.hops(); ++hop) {
+    const net::LinkId link = s.path[static_cast<std::size_t>(hop)];
+    const net::Link& l = topo_.link(link);
+    const int frames = s.framesOnLink[static_cast<std::size_t>(hop)];
+    const int nUp =
+        hop > 0 ? s.framesOnLink[static_cast<std::size_t>(hop - 1)] : 0;
+    const int o = hop > 0 ? std::max(nUp - frames, 0) : 0;
+    const std::int64_t hopDelay =
+        hop > 0 ? ceilDiv(topo_.link(s.path[static_cast<std::size_t>(hop - 1)])
+                                  .propagationDelay +
+                              config_.switchProcessingDelay +
+                              config_.syncErrorMargin,
+                          tu_)
+                : 0;
+    for (int j = 0; j < frames; ++j) {
+      const std::int64_t len = ceilDiv(frameTxTimeOf(s, j, l), tu_);
+      std::int64_t lb = 0;
+      std::int64_t arrival = 0;
+      if (hop == 0) {
+        if (j == 0) lb = ot;
+        if (j > 0) {
+          lb = placed[0][static_cast<std::size_t>(j - 1)] +
+               ceilDiv(frameTxTimeOf(s, j - 1, l), tu_);
+        }
+        arrival = -1;  // sentinel: the talker paces frames per schedule
+      } else {
+        const int upIdx = std::min(j + o, nUp - 1);
+        const net::Link& upLink =
+            topo_.link(s.path[static_cast<std::size_t>(hop - 1)]);
+        arrival = placed[static_cast<std::size_t>(hop - 1)]
+                        [static_cast<std::size_t>(upIdx)] +
+                  ceilDiv(frameTxTimeOf(s, upIdx, upLink), tu_) + hopDelay;
+        lb = arrival;
+        if (j > 0) {
+          lb = std::max(lb, placed[static_cast<std::size_t>(hop)]
+                                  [static_cast<std::size_t>(j - 1)] +
+                                ceilDiv(frameTxTimeOf(s, j - 1, l), tu_));
+        }
+      }
+      const std::int64_t hiB = period + slide - len;
+      const std::int64_t start = findStart(s, link, lb, hiB, len, arrival);
+      if (start < 0) {
+        lastFailedLink_ = link;
+        return false;
+      }
+      placed[static_cast<std::size_t>(hop)].push_back(start);
+      arr[static_cast<std::size_t>(hop)].push_back(hop == 0 ? start
+                                                            : arrival);
+    }
+  }
+
+  // (4): end-to-end latency including the final frame's wire and
+  // propagation time.
+  const int lastHop = s.hops() - 1;
+  const net::Link& lastLink =
+      topo_.link(s.path[static_cast<std::size_t>(lastHop)]);
+  const int lastFrames = s.framesOnLink[static_cast<std::size_t>(lastHop)];
+  const std::int64_t last =
+      placed[static_cast<std::size_t>(lastHop)].back() +
+      ceilDiv(frameTxTimeOf(s, lastFrames - 1, lastLink), tu_) +
+      ceilDiv(lastLink.propagationDelay, tu_);
+  const std::int64_t e2e = s.maxLatency / tu_;
+  const std::int64_t origin = s.kind == StreamKind::Det ? placed[0][0] : ot;
+  if (last - origin > e2e) {
+    lastFailedLink_ = s.path[static_cast<std::size_t>(lastHop)];
+    return false;
+  }
+  return true;
+}
+
+bool Placement::tryPlace(StreamId id) {
+  const ExpandedStream& s = (*streams_)[static_cast<std::size_t>(id)];
+  ETSN_CHECK(!isPlaced(id) && s.hops() > 0);
+  std::vector<std::vector<std::int64_t>> placed;
+  std::vector<std::vector<std::int64_t>> arrivals;
+  if (!placeFrames(s, &placed, &arrivals)) return false;
+
+  const std::int64_t period = s.period / tu_;
+  for (int hop = 0; hop < s.hops(); ++hop) {
+    const net::LinkId link = s.path[static_cast<std::size_t>(hop)];
+    const net::Link& l = topo_.link(link);
+    LinkState& ls = links_[static_cast<std::size_t>(link)];
+    const int frames = s.framesOnLink[static_cast<std::size_t>(hop)];
+    for (int j = 0; j < frames; ++j) {
+      const std::int64_t start =
+          placed[static_cast<std::size_t>(hop)][static_cast<std::size_t>(j)];
+      const std::int64_t len = ceilDiv(frameTxTimeOf(s, j, l), tu_);
+      ls.placed.push_back({s.id, hop, j, start, len, period,
+                           arrivals[static_cast<std::size_t>(hop)]
+                                   [static_cast<std::size_t>(j)],
+                           s.priority, s.kind == StreamKind::Det});
+      mark(s, ls, start, len, period, /*place=*/true);
+    }
+  }
+  starts_[static_cast<std::size_t>(id)] = std::move(placed);
+  epoch_[static_cast<std::size_t>(id)] = ++epochCounter_;
+  ++numPlaced_;
+  return true;
+}
+
+void Placement::remove(StreamId id) {
+  const ExpandedStream& s = (*streams_)[static_cast<std::size_t>(id)];
+  ETSN_CHECK(isPlaced(id));
+  const std::int64_t period = s.period / tu_;
+  for (int hop = 0; hop < s.hops(); ++hop) {
+    const net::LinkId link = s.path[static_cast<std::size_t>(hop)];
+    const net::Link& l = topo_.link(link);
+    LinkState& ls = links_[static_cast<std::size_t>(link)];
+    const int frames = s.framesOnLink[static_cast<std::size_t>(hop)];
+    for (int j = 0; j < frames; ++j) {
+      const std::int64_t start = starts_[static_cast<std::size_t>(id)]
+                                        [static_cast<std::size_t>(hop)]
+                                        [static_cast<std::size_t>(j)];
+      const std::int64_t len = ceilDiv(frameTxTimeOf(s, j, l), tu_);
+      mark(s, ls, start, len, period, /*place=*/false);
+    }
+    std::erase_if(ls.placed,
+                  [id](const Placed& p) { return p.stream == id; });
+  }
+  starts_[static_cast<std::size_t>(id)].clear();
+  --numPlaced_;
+}
+
+std::vector<StreamId> Placement::conflictCandidates(StreamId id,
+                                                    net::LinkId link) const {
+  const ExpandedStream& s = (*streams_)[static_cast<std::size_t>(id)];
+  std::vector<StreamId> out;
+  for (const Placed& p : links_[static_cast<std::size_t>(link)].placed) {
+    if (p.stream == id) continue;
+    if (canOverlapWith(s, p) && !needsIsolation(s, p)) continue;
+    out.push_back(p.stream);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Slot> Placement::slots() const {
+  std::vector<Slot> out;
+  for (const ExpandedStream& s : *streams_) {
+    const auto& mine = starts_[static_cast<std::size_t>(s.id)];
+    if (mine.empty()) continue;
+    for (int hop = 0; hop < s.hops(); ++hop) {
+      const net::Link& l = topo_.link(s.path[static_cast<std::size_t>(hop)]);
+      const int frames = s.framesOnLink[static_cast<std::size_t>(hop)];
+      for (int j = 0; j < frames; ++j) {
+        Slot slot;
+        slot.stream = s.id;
+        slot.hop = hop;
+        slot.frameIndex = j;
+        slot.start = mine[static_cast<std::size_t>(hop)]
+                         [static_cast<std::size_t>(j)] * tu_;
+        slot.duration = ceilDiv(frameTxTimeOf(s, j, l), tu_) * tu_;
+        out.push_back(slot);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace etsn::sched

@@ -1,0 +1,158 @@
+// Incremental slot placement: the substrate under the heuristic scheduling
+// engines (sched/portfolio.h).
+//
+// A Placement holds a partial schedule — some streams placed, some not —
+// and supports placing a stream at its earliest feasible offsets and
+// ripping a placed stream back out, which is what bounded backtracking and
+// tabu search need and the one-shot first-fit placer (sched/heuristic.h)
+// does not provide.  The constraint semantics are identical to the SMT
+// formulation and the first-fit placer: time bounds (1)-(2), sequencing
+// (3), latency (4), periodic non-overlap (5) with the probabilistic-stream
+// exceptions, adjacent-link ordering (7), and FIFO-order frame isolation.
+//
+// Two conflict-search paths produce bit-identical placements:
+//  * pairwise — scan the link's placed frames with gcd-periodic overlap
+//    tests (the first-fit placer's method; always available);
+//  * bitmap — per-link occupancy arrays over the hyperperiod, split by
+//    overlap category (Det, non-shared Det, Prob per ECT spec), giving
+//    O(window) earliest-fit search instead of O(placed²).  Used when the
+//    hyperperiod is tractable (see kMaxBitmapTu); this is what makes
+//    5000-stream instances placeable in seconds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.h"
+#include "sched/schedule.h"
+
+namespace etsn::sched {
+
+/// Do the periodic intervals (a, la, ta) and (b, lb, tb) ever intersect?
+/// (Intervals repeat forever with their period; the test is exact via
+/// gcd(ta, tb).)  Shared by the placers and the validator.
+bool periodicIntervalsOverlap(std::int64_t a, std::int64_t la,
+                              std::int64_t ta, std::int64_t b,
+                              std::int64_t lb, std::int64_t tb);
+
+/// Smallest a' > a such that (a', la, ta) clears the colliding occurrence
+/// of (b, lb, tb) that (a, ·, ta) intersects first.
+std::int64_t pushPastPeriodic(std::int64_t a, std::int64_t ta, std::int64_t b,
+                              std::int64_t lb, std::int64_t tb);
+
+class Placement {
+ public:
+  /// `streams` must outlive the Placement (engines own the expansion).
+  Placement(const net::Topology& topo,
+            const std::vector<ExpandedStream>& streams,
+            const SchedulerConfig& config);
+
+  /// Place every frame of `id` at its earliest feasible offsets given the
+  /// current partial schedule.  All-or-nothing: on failure nothing is
+  /// committed and lastFailedLink() names the blocking link.
+  bool tryPlace(StreamId id);
+
+  /// Rip a placed stream back out (backtracking / tabu moves).
+  void remove(StreamId id);
+
+  bool isPlaced(StreamId id) const {
+    return !starts_[static_cast<std::size_t>(id)].empty();
+  }
+  int numPlaced() const { return numPlaced_; }
+
+  /// Valid after tryPlace() returned false: the link where the search ran
+  /// out of room (for latency failures, the stream's last-hop link).
+  net::LinkId lastFailedLink() const { return lastFailedLink_; }
+
+  /// Placed streams on `link` whose category conflicts with `id` (rip-up
+  /// candidates), ascending stream id — deterministic.
+  std::vector<StreamId> conflictCandidates(StreamId id,
+                                           net::LinkId link) const;
+
+  /// Monotone counter stamped on each successful tryPlace; exposed so
+  /// engines can prefer the most recently placed victim deterministically.
+  std::int64_t placeEpoch(StreamId id) const {
+    return epoch_[static_cast<std::size_t>(id)];
+  }
+
+  /// All placed slots in canonical (stream, hop, frame) order.
+  std::vector<Slot> slots() const;
+
+  const std::vector<ExpandedStream>& streams() const { return *streams_; }
+  TimeNs tu() const { return tu_; }
+  bool usesBitmap() const { return useBitmap_; }
+
+  /// Hyperperiods (in tu) above this are placed via the pairwise path;
+  /// below it, per-link occupancy arrays over the hyperperiod fit in a few
+  /// MB even on wide topologies.
+  static constexpr std::int64_t kMaxBitmapTu = std::int64_t{1} << 18;
+
+ private:
+  struct Placed {
+    StreamId stream;
+    int hop;
+    int frameIndex;
+    std::int64_t start;    // tu
+    std::int64_t len;      // tu
+    std::int64_t period;   // tu
+    std::int64_t arrival;  // tu (hop 0: == start)
+    int priority;
+    bool det;
+  };
+  struct LinkState {
+    std::vector<Placed> placed;
+    // Bitmap path (lazily allocated; hyperTu_ bits / counters each):
+    std::vector<std::uint64_t> detAll;      // any Det frame
+    std::vector<std::uint64_t> detNoShare;  // non-shared Det frames
+    std::vector<std::uint64_t> probAny;     // >= 1 Prob frame (mirror)
+    std::vector<std::uint16_t> probCount;   // Prob frames covering the tu
+    // Per-ECT-spec Prob coverage (same-spec streams may overlap).
+    std::vector<std::pair<std::int32_t, std::vector<std::uint16_t>>> probSpec;
+  };
+
+  bool placeFrames(const ExpandedStream& s,
+                   std::vector<std::vector<std::int64_t>>* starts,
+                   std::vector<std::vector<std::int64_t>>* arrivals);
+  std::int64_t findStart(const ExpandedStream& s, net::LinkId link,
+                         std::int64_t lb, std::int64_t hi, std::int64_t len,
+                         std::int64_t arrival);
+  std::int64_t findStartPairwise(const ExpandedStream& s, net::LinkId link,
+                                 std::int64_t lb, std::int64_t hi,
+                                 std::int64_t len, std::int64_t arrival);
+  std::int64_t findStartBitmap(const ExpandedStream& s, net::LinkId link,
+                               std::int64_t lb, std::int64_t hi,
+                               std::int64_t len, std::int64_t arrival);
+  /// FIFO-order isolation: smallest start >= a consistent with every
+  /// same-queue Det frame already on the link (see heuristic.h for the
+  /// resolvable-direction semantics).  Returns a when none binds.
+  std::int64_t fifoRequired(const ExpandedStream& s, net::LinkId link,
+                            std::int64_t a, std::int64_t arrival) const;
+  /// First conflicting repetition of candidate [a, a+len) per the stream's
+  /// category masks; returns the minimal pushed start, or a if free.
+  std::int64_t bitmapPush(const ExpandedStream& s, LinkState& ls,
+                          std::int64_t a, std::int64_t len,
+                          std::int64_t periodTu) const;
+  void mark(const ExpandedStream& s, LinkState& ls, std::int64_t start,
+            std::int64_t len, std::int64_t periodTu, bool place);
+  std::vector<std::uint16_t>& probSpecCounts(LinkState& ls,
+                                             std::int32_t specId);
+
+  bool canOverlapWith(const ExpandedStream& s, const Placed& p) const;
+  bool needsIsolation(const ExpandedStream& s, const Placed& p) const;
+
+  const net::Topology& topo_;
+  const std::vector<ExpandedStream>* streams_;
+  SchedulerConfig config_;
+  TimeNs tu_ = 0;
+  std::int64_t hyperTu_ = 0;
+  bool useBitmap_ = false;
+  int numPlaced_ = 0;
+  std::int64_t epochCounter_ = 0;
+  net::LinkId lastFailedLink_ = net::kNoLink;
+  std::vector<LinkState> links_;
+  // starts_[stream][hop][frame]; empty outer vector = not placed.
+  std::vector<std::vector<std::vector<std::int64_t>>> starts_;
+  std::vector<std::int64_t> epoch_;
+};
+
+}  // namespace etsn::sched

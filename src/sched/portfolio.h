@@ -1,0 +1,113 @@
+// Heuristic scheduling engines and the portfolio runner.
+//
+// The from-scratch QF_IDL solver is exact but is the wall-clock bottleneck
+// at scale (bench_smt_scaling); these are the heuristic families the TAS
+// survey catalogues (Stüber et al., PAPERS.md), built on the incremental
+// Placement substrate (sched/placement.h):
+//
+//  * greedy — earliest-slot assignment in laxity order with bounded
+//    backtracking: when a stream finds no feasible offsets, rip out the
+//    most recently placed conflicting stream on the blocking link, retry,
+//    and re-queue the victim (budgeted).
+//  * tabu — local search repairing conflicts from a greedy seed: unplaced
+//    streams force themselves in by evicting a seeded-random non-tabu
+//    victim from the blocking link; evicted streams become tabu for a
+//    tenure so the search cannot cycle.
+//  * dnc — divide-and-conquer: split streams into link-disjoint components
+//    (solved independently — their slots cannot interact), and inside a
+//    component order work by bottleneck-link contention (most-loaded link
+//    first) so the contested resources are packed before the easy ones.
+//
+// All three are incomplete: failure means "engine gave up", never "the
+// instance is UNSAT" — the differential corpus (tests/test_sched_portfolio)
+// holds them to the oracle contract that every schedule they emit passes
+// sched::validate and that they never "solve" an SMT-infeasible instance.
+//
+// runPortfolio races the three on the common ThreadPool.  The winner is
+// the *lowest-ranked* feasible engine (rank = the order above), never the
+// first to finish, so the result is byte-identical for any thread count;
+// an engine is cancelled only once a strictly lower rank has already won,
+// which cannot change the winner.  Wall-clock metadata (time-to-first-
+// feasible, per-engine seconds, cancellations) is reported separately and
+// is never part of the deterministic result.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/topology.h"
+#include "sched/schedule.h"
+
+namespace etsn::sched {
+
+struct PortfolioOptions {
+  /// Seed for the tabu engine's victim draws (the only stochastic piece).
+  std::uint64_t seed = 1;
+  /// Portfolio pool width; 0 = one worker per engine.
+  int threads = 0;
+  /// greedy: rip-ups before giving up.
+  int greedyBacktrack = 256;
+  /// tabu: total force-in moves before giving up, and the eviction tenure.
+  int tabuIterations = 20000;
+  int tabuTenure = 16;
+  /// dnc: per-component rip-up budget.
+  int dncBacktrack = 32;
+};
+
+/// Cooperative cancellation: an engine aborts once a strictly lower rank
+/// has produced a feasible schedule (it can no longer win).
+struct CancelToken {
+  const std::atomic<int>* bestRank = nullptr;
+  int rank = 0;
+  bool cancelled() const {
+    return bestRank != nullptr &&
+           bestRank->load(std::memory_order_relaxed) < rank;
+  }
+};
+
+struct EngineResult {
+  bool feasible = false;
+  bool cancelled = false;
+  std::vector<Slot> slots;
+  /// Engine work counter (placements + rip-ups), for benches.
+  std::int64_t steps = 0;
+};
+
+EngineResult runGreedy(const net::Topology& topo,
+                       const std::vector<ExpandedStream>& streams,
+                       const SchedulerConfig& config,
+                       const PortfolioOptions& opts, CancelToken cancel = {});
+EngineResult runTabu(const net::Topology& topo,
+                     const std::vector<ExpandedStream>& streams,
+                     const SchedulerConfig& config,
+                     const PortfolioOptions& opts, CancelToken cancel = {});
+EngineResult runDnc(const net::Topology& topo,
+                    const std::vector<ExpandedStream>& streams,
+                    const SchedulerConfig& config,
+                    const PortfolioOptions& opts, CancelToken cancel = {});
+
+struct EngineRun {
+  std::string name;
+  bool feasible = false;
+  bool cancelled = false;
+  double seconds = 0;  // timing only — excluded from determinism checks
+  std::int64_t steps = 0;
+};
+
+struct PortfolioResult {
+  bool feasible = false;
+  std::vector<Slot> slots;
+  std::string winner;  // engine that provided `slots` ("" if none)
+  /// Earliest feasible completion across engines (timing only).
+  double timeToFeasible = 0;
+  std::vector<EngineRun> runs;  // rank order: greedy, tabu, dnc
+};
+
+PortfolioResult runPortfolio(const net::Topology& topo,
+                             const std::vector<ExpandedStream>& streams,
+                             const SchedulerConfig& config,
+                             const PortfolioOptions& opts);
+
+}  // namespace etsn::sched

@@ -1,0 +1,58 @@
+#include "sched/quality.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace etsn::sched {
+
+QualityMetrics measureQuality(const net::Topology& topo,
+                              const Schedule& sched) {
+  QualityMetrics out;
+  // First/last slot per stream, in slot order within the grid.
+  std::vector<TimeNs> firstStart(sched.streams.size(),
+                                 std::numeric_limits<TimeNs>::max());
+  std::vector<TimeNs> lastEnd(sched.streams.size(),
+                              std::numeric_limits<TimeNs>::min());
+  std::vector<int> lastHop(sched.streams.size(), -1);
+  for (const Slot& slot : sched.slots) {
+    out.flowspan = std::max(out.flowspan, slot.start + slot.duration);
+    const auto i = static_cast<std::size_t>(slot.stream);
+    if (slot.hop == 0) {
+      firstStart[i] = std::min(firstStart[i], slot.start);
+    }
+    if (slot.hop > lastHop[i]) {
+      lastHop[i] = slot.hop;
+      lastEnd[i] = slot.start + slot.duration;
+    } else if (slot.hop == lastHop[i]) {
+      lastEnd[i] = std::max(lastEnd[i], slot.start + slot.duration);
+    }
+  }
+
+  TimeNs slackSum = 0;
+  out.tctSlackMin = std::numeric_limits<TimeNs>::max();
+  for (const ExpandedStream& s : sched.streams) {
+    if (s.kind != StreamKind::Det || lastHop[static_cast<std::size_t>(s.id)] < 0) {
+      continue;
+    }
+    const auto i = static_cast<std::size_t>(s.id);
+    const net::Link& last =
+        topo.link(s.path[static_cast<std::size_t>(s.hops() - 1)]);
+    const TimeNs e2e =
+        lastEnd[i] + last.propagationDelay - firstStart[i];
+    const TimeNs slack = s.maxLatency - e2e;
+    out.tctSlackMin = std::min(out.tctSlackMin, slack);
+    slackSum += slack;
+    ++out.detStreams;
+  }
+  if (out.detStreams == 0) {
+    out.tctSlackMin = 0;
+  } else {
+    out.tctSlackMean =
+        static_cast<double>(slackSum) / static_cast<double>(out.detStreams);
+  }
+  return out;
+}
+
+}  // namespace etsn::sched

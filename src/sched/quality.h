@@ -1,0 +1,29 @@
+// Schedule quality metrics for engine comparison (bench_sched_portfolio):
+// feasible schedules from different engines are ranked by how tightly they
+// pack (flowspan) and how much deadline margin they leave the TCT streams
+// (slot slack).
+#pragma once
+
+#include "net/topology.h"
+#include "sched/schedule.h"
+
+namespace etsn::sched {
+
+struct QualityMetrics {
+  /// Latest reserved slot end across all links (ns): the schedule's
+  /// makespan within the period grid.  Smaller = tighter packing.
+  TimeNs flowspan = 0;
+  /// Deadline slack of a Det stream: maxLatency minus its scheduled
+  /// end-to-end latency (last slot end + propagation - first slot start).
+  /// Larger = more runtime margin for the time-critical traffic.
+  TimeNs tctSlackMin = 0;
+  double tctSlackMean = 0;
+  int detStreams = 0;
+};
+
+/// Both are computed over reserved slots only, so they are comparable
+/// across engines on the same expanded instance.
+QualityMetrics measureQuality(const net::Topology& topo,
+                              const Schedule& sched);
+
+}  // namespace etsn::sched

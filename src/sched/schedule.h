@@ -123,11 +123,23 @@ struct SolveInfo {
   std::int64_t smtConflicts = 0;
   std::int64_t smtDecisions = 0;
   std::int64_t smtIntVars = 0;
-  std::string engine;  // "smt", "heuristic", "smt+heuristic", ...
+  std::string engine;  // "smt", "heuristic", "greedy", "portfolio", ...
   /// Graceful degradation: the primary (SMT) engine gave up — conflict
   /// budget exhausted or repair infeasible under pinning — and the result
   /// comes from the heuristic fallback instead.
   bool degraded = false;
+  /// Portfolio runs: the engine whose schedule was adopted (deterministic
+  /// lowest-rank winner) and the wall-clock until the first feasible
+  /// engine finished (timing metadata, not part of the result).
+  std::string portfolioWinner;
+  double timeToFeasible = 0;
+  /// Gap certification (ScheduleOptions::certify): SMT re-verdict on the
+  /// instance plus a certified flowspan lower bound for the quality gap.
+  bool certified = false;       // SMT reached a feasibility verdict
+  bool gapCertified = false;    // flowspan search ran to completion
+  std::int64_t flowspanTu = 0;  // this schedule's flowspan (tu grid)
+  std::int64_t flowspanLowerBoundTu = 0;
+  double gapPercent = 0;
 };
 
 struct Schedule {

@@ -21,6 +21,27 @@ const char* methodName(Method m) {
   return "?";
 }
 
+const char* engineName(Engine e) {
+  switch (e) {
+    case Engine::Smt: return "smt";
+    case Engine::Heuristic: return "heuristic";
+    case Engine::Greedy: return "greedy";
+    case Engine::Tabu: return "tabu";
+    case Engine::Dnc: return "dnc";
+    case Engine::Portfolio: return "portfolio";
+  }
+  return "?";
+}
+
+Engine engineFromString(const std::string& name) {
+  for (const Engine e : {Engine::Smt, Engine::Heuristic, Engine::Greedy,
+                         Engine::Tabu, Engine::Dnc, Engine::Portfolio}) {
+    if (name == engineName(e)) return e;
+  }
+  throw ConfigError("unknown scheduling engine '" + name +
+                    "' (expected smt|heuristic|greedy|tabu|dnc|portfolio)");
+}
+
 namespace {
 
 /// Transform the user specs according to the method, keeping a map from
@@ -102,13 +123,42 @@ MethodSchedule buildSchedule(const net::Topology& topo,
   sched.specToStreams = std::move(specToStreams);
 
   const auto t0 = std::chrono::steady_clock::now();
-  if (options.useHeuristic) {
+  const Engine engine =
+      options.useHeuristic ? Engine::Heuristic : options.engine;
+  if (engine == Engine::Heuristic) {
     HeuristicPlacer placer(topo, exp.streams, options.config);
     const bool ok = placer.place();
     sched.streams = exp.streams;
     sched.info.feasible = ok;
     sched.info.engine = "heuristic";
     if (ok) sched.slots = placer.slots();
+  } else if (engine == Engine::Greedy || engine == Engine::Tabu ||
+             engine == Engine::Dnc) {
+    EngineResult r;
+    switch (engine) {
+      case Engine::Greedy:
+        r = runGreedy(topo, exp.streams, options.config, options.portfolio);
+        break;
+      case Engine::Tabu:
+        r = runTabu(topo, exp.streams, options.config, options.portfolio);
+        break;
+      default:
+        r = runDnc(topo, exp.streams, options.config, options.portfolio);
+        break;
+    }
+    sched.streams = exp.streams;
+    sched.info.feasible = r.feasible;
+    sched.info.engine = engineName(engine);
+    if (r.feasible) sched.slots = std::move(r.slots);
+  } else if (engine == Engine::Portfolio) {
+    PortfolioResult r =
+        runPortfolio(topo, exp.streams, options.config, options.portfolio);
+    sched.streams = exp.streams;
+    sched.info.feasible = r.feasible;
+    sched.info.engine = "portfolio";
+    sched.info.portfolioWinner = r.winner;
+    sched.info.timeToFeasible = r.timeToFeasible;
+    if (r.feasible) sched.slots = std::move(r.slots);
   } else {
     ScheduleSmt smt(topo, exp.streams, options.config);
     smt.buildConstraints();
@@ -142,6 +192,37 @@ MethodSchedule buildSchedule(const net::Topology& topo,
   const auto t1 = std::chrono::steady_clock::now();
   sched.info.solveSeconds =
       std::chrono::duration<double>(t1 - t0).count();
+
+  if (options.certify && engine != Engine::Smt && sched.info.feasible &&
+      !sched.streams.empty()) {
+    TimeNs tu = 0;
+    for (const ExpandedStream& s : sched.streams) {
+      if (!s.path.empty()) {
+        tu = topo.link(s.path[0]).timeUnit;
+        break;
+      }
+    }
+    if (tu > 0) {
+      std::int64_t span = 0;
+      for (const Slot& slot : sched.slots) {
+        span = std::max(span, (slot.start + slot.duration) / tu);
+      }
+      sched.info.flowspanTu = span;
+      const GapProbeResult probe =
+          probeOptimalityGap(topo, sched.streams, options.config, span,
+                             options.certifyConflictBudget);
+      sched.info.certified = probe.feasibilityCertified;
+      sched.info.gapCertified = probe.gapCertified;
+      sched.info.flowspanLowerBoundTu = probe.lowerBoundTu;
+      sched.info.gapPercent = probe.gapPercent;
+      if (probe.infeasible) {
+        // A heuristic schedule for an SMT-infeasible instance means the
+        // engines disagree on the constraint semantics — loudly visible.
+        ETSN_LOG(Error) << "gap probe: instance is SMT-infeasible but a "
+                           "heuristic engine produced a schedule";
+      }
+    }
+  }
 
   // Hyperperiod over all scheduled streams (GCL cycle).
   if (!sched.streams.empty()) {

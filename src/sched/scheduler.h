@@ -8,10 +8,12 @@
 //             unallocated time-slots; only TCT is scheduled.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "net/stream.h"
 #include "net/topology.h"
+#include "sched/portfolio.h"
 #include "sched/schedule.h"
 
 namespace etsn::sched {
@@ -19,6 +21,20 @@ namespace etsn::sched {
 enum class Method { ETSN, PERIOD, AVB };
 
 const char* methodName(Method m);
+
+/// Which solver produces the slot table (orthogonal to Method, which
+/// transforms the workload):
+///  * Smt        — the exact QF_IDL formulation (complete, slow at scale);
+///  * Heuristic  — one-shot first-fit placer (sched/heuristic.h);
+///  * Greedy/Tabu/Dnc — the portfolio families (sched/portfolio.h);
+///  * Portfolio  — all three raced on the thread pool, deterministic
+///                 lowest-rank winner.
+enum class Engine { Smt, Heuristic, Greedy, Tabu, Dnc, Portfolio };
+
+const char* engineName(Engine e);
+/// Parse "smt" | "heuristic" | "greedy" | "tabu" | "dnc" | "portfolio"
+/// (the facade/bench engine strings).  Throws ConfigError on anything else.
+Engine engineFromString(const std::string& name);
 
 struct ScheduleOptions {
   SchedulerConfig config;
@@ -29,9 +45,17 @@ struct ScheduleOptions {
   int periodSlotFactor = 0;
   /// AVB baseline: class-A idle slope as a fraction of link bandwidth.
   double avbIdleSlopeFraction = 0.75;
-  /// Use the first-fit heuristic placer instead of the SMT solver (same
-  /// constraint semantics, incomplete but fast; see sched/heuristic.h).
+  /// Legacy alias for engine = Engine::Heuristic (overrides `engine`).
   bool useHeuristic = false;
+  Engine engine = Engine::Smt;
+  /// Budgets/seed for the Greedy/Tabu/Dnc/Portfolio engines.
+  PortfolioOptions portfolio;
+  /// After a heuristic-family engine returns feasible, run the SMT gap
+  /// probe (bounded conflicts per solve) to certify feasibility and report
+  /// the flowspan optimality gap in Schedule::info.  Intended for sampled
+  /// subsets — the probe costs an SMT encode + O(log flowspan) solves.
+  bool certify = false;
+  std::int64_t certifyConflictBudget = 50000;
 };
 
 /// Full schedule result, including runtime metadata for the simulator.

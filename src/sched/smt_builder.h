@@ -54,6 +54,12 @@ class ScheduleSmt {
 
   smt::Result solve();
 
+  /// Guarded flowspan cap: every reserved slot ends by `capTu` (clauses
+  /// `~g or phi + len <= capTu`).  Solve with the returned literal as an
+  /// assumption; caps from previous probes stay dormant unless assumed, so
+  /// a binary search can stack them on one solver instance.
+  smt::Lit addFlowspanCap(std::int64_t capTu);
+
   /// Extract reserved slots from the model (valid after Result::Sat).
   std::vector<Slot> extractSlots() const;
 
@@ -101,5 +107,37 @@ class ScheduleSmt {
   std::vector<std::vector<smt::IntVar>> vars_;
   std::vector<std::vector<int>> hopBase_;  // per stream: var offset per hop
 };
+
+/// Outcome of the heuristic-vs-SMT gap probe (see probeOptimalityGap).
+struct GapProbeResult {
+  /// The SMT engine reached a Sat/Unsat verdict on the base instance.
+  bool feasibilityCertified = false;
+  /// The base instance is SMT-infeasible (a heuristic "solution" for it
+  /// would be an oracle violation — the differential tests assert this
+  /// never happens).
+  bool infeasible = false;
+  /// The binary search completed without hitting the conflict budget, so
+  /// lowerBoundTu is the exact optimal flowspan.
+  bool gapCertified = false;
+  /// Certified bound: no schedule exists with flowspan < lowerBoundTu.
+  /// Valid whenever feasibilityCertified && !infeasible (partial searches
+  /// report the bound proven so far).
+  std::int64_t lowerBoundTu = 0;
+  std::int64_t heuristicTu = 0;  // echoed input
+  /// 100 * (heuristic - lowerBound) / lowerBound; 0 when optimal.
+  double gapPercent = 0;
+  int solves = 0;
+};
+
+/// Certify a heuristic result against the exact engine: re-solve the
+/// instance from scratch (bounded conflicts per solve), then binary-search
+/// guarded flowspan caps for the smallest feasible flowspan.  The gap
+/// between the heuristic's flowspan and the certified lower bound measures
+/// how much schedule quality the heuristic gave up for speed.
+GapProbeResult probeOptimalityGap(const net::Topology& topo,
+                                  const std::vector<ExpandedStream>& streams,
+                                  const SchedulerConfig& config,
+                                  std::int64_t heuristicFlowspanTu,
+                                  std::int64_t conflictBudgetPerSolve);
 
 }  // namespace etsn::sched

@@ -8,6 +8,84 @@
 
 namespace etsn::workload {
 
+const char* topologyKindName(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::Line: return "line";
+    case TopologyKind::Ring: return "ring";
+    case TopologyKind::Tree: return "tree";
+    case TopologyKind::Mesh: return "mesh";
+  }
+  return "?";
+}
+
+TopologyKind topologyKindFromString(const std::string& name) {
+  for (const TopologyKind k : {TopologyKind::Line, TopologyKind::Ring,
+                               TopologyKind::Tree, TopologyKind::Mesh}) {
+    if (name == topologyKindName(k)) return k;
+  }
+  throw ConfigError("unknown topology kind '" + name +
+                    "' (expected line|ring|tree|mesh)");
+}
+
+net::Topology makeScaledTopology(TopologyKind kind, int numSwitches,
+                                 int devicesPerSwitch,
+                                 const net::LinkParams& params) {
+  ETSN_CHECK_MSG(numSwitches >= 1, "need at least one switch");
+  ETSN_CHECK_MSG(devicesPerSwitch >= 1, "need at least one device/switch");
+  net::Topology topo;
+  std::vector<net::NodeId> sw;
+  for (int i = 0; i < numSwitches; ++i) {
+    sw.push_back(topo.addSwitch("sw" + std::to_string(i)));
+  }
+  switch (kind) {
+    case TopologyKind::Line:
+    case TopologyKind::Ring:
+      for (int i = 0; i + 1 < numSwitches; ++i) {
+        topo.connect(sw[static_cast<std::size_t>(i)],
+                     sw[static_cast<std::size_t>(i + 1)], params);
+      }
+      if (kind == TopologyKind::Ring && numSwitches > 2) {
+        topo.connect(sw[static_cast<std::size_t>(numSwitches - 1)], sw[0],
+                     params);
+      }
+      break;
+    case TopologyKind::Tree:
+      for (int i = 1; i < numSwitches; ++i) {
+        topo.connect(sw[static_cast<std::size_t>((i - 1) / 2)],
+                     sw[static_cast<std::size_t>(i)], params);
+      }
+      break;
+    case TopologyKind::Mesh: {
+      // Near-square grid: rows x cols >= numSwitches, right/down cables.
+      const int rows = std::max(
+          1, static_cast<int>(std::sqrt(static_cast<double>(numSwitches))));
+      const int cols = (numSwitches + rows - 1) / rows;
+      for (int i = 0; i < numSwitches; ++i) {
+        const int r = i / cols;
+        const int c = i % cols;
+        if (c + 1 < cols && i + 1 < numSwitches) {
+          topo.connect(sw[static_cast<std::size_t>(i)],
+                       sw[static_cast<std::size_t>(i + 1)], params);
+        }
+        if ((r + 1) * cols + c < numSwitches) {
+          topo.connect(sw[static_cast<std::size_t>(i)],
+                       sw[static_cast<std::size_t>((r + 1) * cols + c)],
+                       params);
+        }
+      }
+      break;
+    }
+  }
+  for (int i = 0; i < numSwitches; ++i) {
+    for (int d = 0; d < devicesPerSwitch; ++d) {
+      const net::NodeId dev = topo.addDevice(
+          "dev" + std::to_string(i) + "_" + std::to_string(d));
+      topo.connect(dev, sw[static_cast<std::size_t>(i)], params);
+    }
+  }
+  return topo;
+}
+
 int payloadForRate(double rateBps, TimeNs period) {
   // Wire bytes available per period at this rate.
   const double wireBytesPerPeriod =
@@ -69,6 +147,26 @@ std::vector<net::StreamSpec> generateTct(const net::Topology& topo,
   const double ratePerStream = w.networkLoad * linkBw / bottleneck;
   for (net::StreamSpec& s : specs) {
     s.payloadBytes = payloadForRate(ratePerStream, s.period);
+  }
+  return specs;
+}
+
+std::vector<net::StreamSpec> generateEct(const net::Topology& topo,
+                                         const EctWorkload& w) {
+  ETSN_CHECK_MSG(w.numStreams >= 0, "negative ECT stream count");
+  ETSN_CHECK_MSG(!w.minInterevents.empty(), "need an interevent set");
+  const auto devices = topo.devices();
+  ETSN_CHECK_MSG(devices.size() >= 2, "need at least two devices");
+  Rng rng(w.seed);
+  std::vector<net::StreamSpec> specs;
+  for (int i = 0; i < w.numStreams; ++i) {
+    const net::NodeId src = rng.pick(devices);
+    net::NodeId dst;
+    do {
+      dst = rng.pick(devices);
+    } while (dst == src);
+    specs.push_back(makeEct("ect" + std::to_string(i + 1), src, dst,
+                            rng.pick(w.minInterevents), w.payloadBytes));
   }
   return specs;
 }

@@ -15,6 +15,27 @@
 
 namespace etsn::workload {
 
+/// Scaled plant-network shapes for the portfolio-scheduler benchmarks
+/// (bench_sched_portfolio): the line/ring/tree layouts common on factory
+/// floors plus a grid mesh for path diversity.
+enum class TopologyKind { Line, Ring, Tree, Mesh };
+
+const char* topologyKindName(TopologyKind k);
+/// Parse "line" | "ring" | "tree" | "mesh"; throws ConfigError otherwise.
+TopologyKind topologyKindFromString(const std::string& name);
+
+/// Build a topology of `numSwitches` switches in the given shape, each
+/// with `devicesPerSwitch` end devices attached:
+///  * Line — switches chained sw0 - sw1 - ... ;
+///  * Ring — the line closed into a loop;
+///  * Tree — a binary tree rooted at sw0;
+///  * Mesh — a near-square grid with right/down neighbor cables.
+/// Deterministic; node ids are switches first (0..numSwitches-1), then
+/// devices grouped by switch.
+net::Topology makeScaledTopology(TopologyKind kind, int numSwitches,
+                                 int devicesPerSwitch,
+                                 const net::LinkParams& params = {});
+
 struct TctWorkload {
   int numStreams = 10;
   std::vector<TimeNs> periods = {milliseconds(4), milliseconds(8),
@@ -30,6 +51,19 @@ struct TctWorkload {
 /// Generate TCT stream specs on the topology's devices.
 std::vector<net::StreamSpec> generateTct(const net::Topology& topo,
                                          const TctWorkload& w);
+
+struct EctWorkload {
+  int numStreams = 2;
+  /// Minimum interevent times T (the period of the probabilistic slots).
+  std::vector<TimeNs> minInterevents = {milliseconds(8), milliseconds(16)};
+  int payloadBytes = 100;
+  std::uint64_t seed = 1;
+};
+
+/// Generate event-triggered stream specs with random unicast endpoints
+/// (same endpoint-drawing discipline as generateTct; deterministic).
+std::vector<net::StreamSpec> generateEct(const net::Topology& topo,
+                                         const EctWorkload& w);
 
 /// Convenience constructor for an ECT stream spec.
 net::StreamSpec makeEct(const std::string& name, net::NodeId src,

@@ -1,0 +1,79 @@
+// Scheduling performance smoke tests (ctest label "perf"): generous
+// time-to-feasible ceilings for the small portfolio sizes.  Like
+// test_perf_smoke, the limits sit far above any healthy machine's numbers
+// (a loaded single-core CI box clears them several times over) so only a
+// structural regression fails — the Placement substrate falling off its
+// bitmap fast path back to pairwise scans, or the validator reverting to
+// the all-pairs overlap walk.  bench_sched_portfolio tracks the real
+// trajectory; never tune these upward to chase it.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "sched/scheduler.h"
+#include "sched/validate.h"
+#include "workload/iec60802.h"
+
+namespace etsn::sched {
+namespace {
+
+MethodSchedule runPortfolioOn(workload::TopologyKind kind, int switches,
+                              int tctStreams) {
+  const net::Topology topo = workload::makeScaledTopology(kind, switches, 2);
+  workload::TctWorkload w;
+  w.numStreams = tctStreams;
+  w.periods = {milliseconds(5), milliseconds(10), milliseconds(20)};
+  w.networkLoad = 0.4;
+  w.seed = 7;
+  auto specs = workload::generateTct(topo, w);
+  ScheduleOptions opt;
+  opt.engine = Engine::Portfolio;
+  opt.config.numProbabilistic = 4;
+  const auto ms = buildSchedule(topo, specs, opt);
+  if (ms.schedule.info.feasible) {
+    EXPECT_TRUE(validate(topo, ms.schedule).empty());
+  }
+  return ms;
+}
+
+// 8-switch ring, 100 streams: a healthy build schedules this in well under
+// a second; 20 s of headroom absorbs sanitizer builds and loaded boxes.
+TEST(PerfSched, PortfolioSmallRingTimeToFeasibleCeiling) {
+  const auto ms = runPortfolioOn(workload::TopologyKind::Ring, 8, 100);
+  ASSERT_TRUE(ms.schedule.info.feasible);
+  EXPECT_LE(ms.schedule.info.solveSeconds, 20.0)
+      << "portfolio time-to-feasible collapsed on the small ring";
+}
+
+// 16-switch mesh, 300 streams: the mid grid point of bench_sched_portfolio.
+TEST(PerfSched, PortfolioMidMeshTimeToFeasibleCeiling) {
+  const auto ms = runPortfolioOn(workload::TopologyKind::Mesh, 16, 300);
+  ASSERT_TRUE(ms.schedule.info.feasible);
+  EXPECT_LE(ms.schedule.info.solveSeconds, 60.0)
+      << "portfolio time-to-feasible collapsed on the mid mesh";
+}
+
+// Validator throughput on the same mid mesh: the per-link grouping keeps
+// a full constraint replay in single-digit seconds.
+TEST(PerfSched, ValidatorMidMeshCeiling) {
+  const net::Topology topo =
+      workload::makeScaledTopology(workload::TopologyKind::Mesh, 16, 2);
+  workload::TctWorkload w;
+  w.numStreams = 300;
+  w.periods = {milliseconds(5), milliseconds(10), milliseconds(20)};
+  w.networkLoad = 0.4;
+  w.seed = 7;
+  ScheduleOptions opt;
+  opt.engine = Engine::Greedy;
+  const auto ms = buildSchedule(topo, workload::generateTct(topo, w), opt);
+  ASSERT_TRUE(ms.schedule.info.feasible);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(validate(topo, ms.schedule).empty());
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LE(elapsed, 30.0) << "validator fell off the per-link grouping";
+}
+
+}  // namespace
+}  // namespace etsn::sched

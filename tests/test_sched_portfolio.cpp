@@ -1,0 +1,462 @@
+// Portfolio scheduling engines vs the exact oracle.
+//
+//  * Differential corpus: ~200 randomized instances small enough for the
+//    SMT engine; every heuristic schedule must pass sched::validate, and
+//    no heuristic may "solve" an instance SMT proves infeasible.
+//  * Validator-as-oracle fuzz: seeded, *provably violating* mutations of
+//    known-good schedules (negative offset, undersized slot, pre-occurrence
+//    start, hop swap, guard-band intrusion, slot collision) must each be
+//    rejected — the oracle itself is tested against near-miss schedules.
+//  * Determinism: the portfolio result is byte-identical across thread
+//    counts 1/2/8 and across repeated runs with the same seed.
+//  * Substrate equivalence: greedy with a zero rip-up budget reproduces
+//    the first-fit placer's slots bit-for-bit (this is what proves the
+//    hyperperiod-bitmap fast path against the pairwise reference).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/expand.h"
+#include "sched/heuristic.h"
+#include "sched/portfolio.h"
+#include "sched/scheduler.h"
+#include "sched/validate.h"
+#include "workload/iec60802.h"
+
+namespace etsn::sched {
+namespace {
+
+struct Instance {
+  net::Topology topo;
+  std::vector<net::StreamSpec> specs;
+};
+
+Instance makeInstance(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto kind = static_cast<workload::TopologyKind>(
+      rng.uniformInt(0, 3));
+  const int switches = static_cast<int>(rng.uniformInt(2, 4));
+  Instance inst;
+  inst.topo = workload::makeScaledTopology(kind, switches, 2);
+  workload::TctWorkload w;
+  w.numStreams = static_cast<int>(rng.uniformInt(3, 8));
+  w.periods = {milliseconds(4), milliseconds(8)};
+  w.networkLoad = 0.3 + 0.2 * static_cast<double>(rng.uniformInt(0, 2));
+  w.seed = seed;
+  inst.specs = workload::generateTct(inst.topo, w);
+  // A slice of the corpus gets latency bounds squeezed to exactly one
+  // last-hop frame transmission + propagation: structurally valid (the
+  // e2e budget is 0, not negative) yet provably UNSAT for the >= 2-hop
+  // device-to-device paths here, where the first hop's wire time plus the
+  // switch processing delay alone already overdraw the budget.  The
+  // differential contract needs both sides of the oracle's verdict.
+  if (seed % 3 == 0) {
+    SchedulerConfig cfg;
+    cfg.numProbabilistic = 3;
+    const Expansion exp = expandStreams(inst.topo, inst.specs, cfg);
+    for (std::size_t i = 0; i < inst.specs.size(); ++i) {
+      TimeNs squeezed = 0;
+      for (const StreamId id : exp.specToStreams[i]) {
+        const ExpandedStream& s = exp.streams[static_cast<std::size_t>(id)];
+        const std::size_t lastHop = static_cast<std::size_t>(s.hops() - 1);
+        const net::Link& link = inst.topo.link(s.path[lastHop]);
+        const TimeNs tu = link.timeUnit;
+        const TimeNs tx =
+            frameTxTimeOf(s, s.framesOnLink[lastHop] - 1, link);
+        const TimeNs budget =
+            ((tx + tu - 1) / tu + (link.propagationDelay + tu - 1) / tu) *
+            tu;
+        squeezed = std::max(squeezed, budget);
+      }
+      inst.specs[i].maxLatency = squeezed;
+    }
+  }
+  if (seed % 2 == 0) {
+    workload::EctWorkload e;
+    e.numStreams = 1;
+    e.seed = seed + 1;
+    for (auto& s : workload::generateEct(inst.topo, e)) {
+      inst.specs.push_back(std::move(s));
+    }
+  }
+  return inst;
+}
+
+ScheduleOptions optionsFor(const std::string& engine) {
+  ScheduleOptions opt;
+  opt.engine = engineFromString(engine);
+  opt.config.numProbabilistic = 3;
+  return opt;
+}
+
+/// Canonical byte-level serialization of the deterministic result surface
+/// (timing metadata deliberately excluded).
+std::string fingerprint(const MethodSchedule& ms) {
+  std::ostringstream os;
+  os << ms.schedule.info.feasible << '|' << ms.schedule.info.engine << '|'
+     << ms.schedule.info.portfolioWinner << '|';
+  for (const Slot& s : ms.schedule.slots) {
+    os << s.stream << ',' << s.hop << ',' << s.frameIndex << ',' << s.start
+       << ',' << s.duration << ';';
+  }
+  return os.str();
+}
+
+TEST(SchedPortfolioDifferential, HeuristicsAgreeWithSmtOracle) {
+  const std::vector<std::string> heuristics = {"greedy", "tabu", "dnc",
+                                               "portfolio"};
+  int smtFeasible = 0;
+  int smtInfeasible = 0;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    const Instance inst = makeInstance(seed);
+    const auto smt = buildSchedule(inst.topo, inst.specs, optionsFor("smt"));
+    ASSERT_FALSE(smt.schedule.info.degraded)
+        << "corpus instance " << seed << " exceeded the SMT budget";
+    (smt.schedule.info.feasible ? smtFeasible : smtInfeasible)++;
+    if (smt.schedule.info.feasible) {
+      EXPECT_TRUE(validate(inst.topo, smt.schedule).empty())
+          << "SMT schedule invalid on instance " << seed;
+    }
+    for (const std::string& engine : heuristics) {
+      auto opt = optionsFor(engine);
+      opt.portfolio.seed = seed;
+      const auto h = buildSchedule(inst.topo, inst.specs, opt);
+      if (h.schedule.info.feasible) {
+        EXPECT_TRUE(smt.schedule.info.feasible)
+            << engine << " 'solved' SMT-infeasible instance " << seed;
+        const auto violations = validate(inst.topo, h.schedule);
+        EXPECT_TRUE(violations.empty())
+            << engine << " schedule rejected by the validator on instance "
+            << seed << ": " << violations.front().constraint << " "
+            << violations.front().detail;
+      }
+      // The converse (SMT feasible, heuristic gave up) is allowed:
+      // the heuristics are incomplete by contract.
+    }
+  }
+  // The corpus must exercise both verdicts or the differential is vacuous.
+  EXPECT_GT(smtFeasible, 20);
+  EXPECT_GT(smtInfeasible, 20);
+}
+
+// ---------------------------------------------------------------------------
+// Validator-as-oracle fuzz: each mutation helper finds a site where the
+// mutation provably violates a constraint family, applies it, and returns
+// true; schedules lacking such a site are skipped for that mutation.
+
+using Mutator = bool (*)(const net::Topology&, Schedule*, Rng*);
+
+bool mutateNegativeStart(const net::Topology&, Schedule* s, Rng* rng) {
+  if (s->slots.empty()) return false;
+  auto& slot = s->slots[static_cast<std::size_t>(rng->uniformInt(
+      0, static_cast<std::int64_t>(s->slots.size()) - 1))];
+  slot.start = -microseconds(1);  // (1): negative offset
+  return true;
+}
+
+bool mutateUndersizedSlot(const net::Topology& topo, Schedule* s, Rng* rng) {
+  if (s->slots.empty()) return false;
+  auto& slot = s->slots[static_cast<std::size_t>(rng->uniformInt(
+      0, static_cast<std::int64_t>(s->slots.size()) - 1))];
+  const ExpandedStream& es =
+      s->streams[static_cast<std::size_t>(slot.stream)];
+  const net::Link& link =
+      topo.link(es.path[static_cast<std::size_t>(slot.hop)]);
+  // (1): one nanosecond below the frame's wire time.
+  slot.duration = frameTxTimeOf(es, slot.frameIndex, link) - 1;
+  return true;
+}
+
+bool mutatePreOccurrence(const net::Topology&, Schedule* s, Rng* rng) {
+  std::vector<StreamId> probs;
+  for (const ExpandedStream& es : s->streams) {
+    if (es.kind == StreamKind::Prob && es.occurrence > 0) probs.push_back(es.id);
+  }
+  if (probs.empty()) return false;
+  const StreamId id = probs[static_cast<std::size_t>(rng->uniformInt(
+      0, static_cast<std::int64_t>(probs.size()) - 1))];
+  for (Slot& slot : s->slots) {
+    if (slot.stream == id && slot.hop == 0 && slot.frameIndex == 0) {
+      // (2): first slot opens before the possibility's occurrence time.
+      slot.start =
+          s->streams[static_cast<std::size_t>(id)].occurrence -
+          microseconds(1);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool mutateHopSwap(const net::Topology&, Schedule* s, Rng* rng) {
+  std::vector<StreamId> multi;
+  for (const ExpandedStream& es : s->streams) {
+    if (es.hops() >= 2) multi.push_back(es.id);
+  }
+  if (multi.empty()) return false;
+  const StreamId id = multi[static_cast<std::size_t>(rng->uniformInt(
+      0, static_cast<std::int64_t>(multi.size()) - 1))];
+  const ExpandedStream& es = s->streams[static_cast<std::size_t>(id)];
+  // Swap hop-1 frame 0 with its (7)-checked upstream partner (the prudent
+  // index offset decides which hop-0 frame that is).
+  const int nUp = es.framesOnLink[0];
+  const int nDown = es.framesOnLink[1];
+  const int upIdx = std::min(std::max(nUp - nDown, 0), nUp - 1);
+  Slot* h0 = nullptr;
+  Slot* h1 = nullptr;
+  for (Slot& slot : s->slots) {
+    if (slot.stream != id) continue;
+    if (slot.hop == 0 && slot.frameIndex == upIdx) h0 = &slot;
+    if (slot.hop == 1 && slot.frameIndex == 0) h1 = &slot;
+  }
+  if (h0 == nullptr || h1 == nullptr) return false;
+  // (7): the downstream slot now precedes its upstream transmission
+  // (hop-1 starts strictly after hop-0 ends in any valid schedule).
+  std::swap(h0->start, h1->start);
+  return true;
+}
+
+bool mutateGuardBand(const net::Topology& topo, Schedule* s, Rng* rng) {
+  std::vector<StreamId> multi;
+  for (const ExpandedStream& es : s->streams) {
+    if (es.hops() >= 2) multi.push_back(es.id);
+  }
+  if (multi.empty()) return false;
+  const StreamId id = multi[static_cast<std::size_t>(rng->uniformInt(
+      0, static_cast<std::int64_t>(multi.size()) - 1))];
+  const ExpandedStream& es = s->streams[static_cast<std::size_t>(id)];
+  const Slot* up = nullptr;
+  Slot* down = nullptr;
+  const int nUp = es.framesOnLink[0];
+  const int nDown = es.framesOnLink[1];
+  const int upIdx = std::min(std::max(nUp - nDown, 0), nUp - 1);
+  for (Slot& slot : s->slots) {
+    if (slot.stream != id) continue;
+    if (slot.hop == 0 && slot.frameIndex == upIdx) up = &slot;
+    if (slot.hop == 1 && slot.frameIndex == 0) down = &slot;
+  }
+  if (up == nullptr || down == nullptr) return false;
+  // (7): land the downstream slot one microsecond inside the propagation +
+  // processing guard band following the upstream transmission.
+  down->start = up->start + up->duration + topo.link(es.path[0]).propagationDelay +
+                s->config.switchProcessingDelay - microseconds(1);
+  return true;
+}
+
+bool mutateSlotCollision(const net::Topology&, Schedule* s, Rng* rng) {
+  // Shift a Det slot exactly onto another Det stream's slot on the same
+  // link: Det/Det pairs may never overlap, so (5) must fire.
+  std::vector<std::pair<Slot*, Slot*>> candidates;
+  for (Slot& a : s->slots) {
+    const ExpandedStream& sa = s->streams[static_cast<std::size_t>(a.stream)];
+    if (sa.kind != StreamKind::Det) continue;
+    for (Slot& b : s->slots) {
+      if (a.stream == b.stream) continue;
+      const ExpandedStream& sb =
+          s->streams[static_cast<std::size_t>(b.stream)];
+      if (sb.kind != StreamKind::Det) continue;
+      if (sa.path[static_cast<std::size_t>(a.hop)] !=
+          sb.path[static_cast<std::size_t>(b.hop)])
+        continue;
+      candidates.emplace_back(&a, &b);
+    }
+  }
+  if (candidates.empty()) return false;
+  const auto& [a, b] = candidates[static_cast<std::size_t>(rng->uniformInt(
+      0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  a->start = b->start;  // identical starts always intersect
+  return true;
+}
+
+TEST(SchedPortfolioFuzz, ValidatorRejectsEveryMutation) {
+  const std::vector<std::pair<const char*, Mutator>> mutators = {
+      {"negative-start", mutateNegativeStart},
+      {"undersized-slot", mutateUndersizedSlot},
+      {"pre-occurrence", mutatePreOccurrence},
+      {"hop-swap", mutateHopSwap},
+      {"guard-band", mutateGuardBand},
+      {"slot-collision", mutateSlotCollision},
+  };
+  int applied = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Instance inst = makeInstance(seed * 2);  // even: feasible-leaning
+    auto opt = optionsFor("portfolio");
+    opt.portfolio.seed = seed;
+    const auto base = buildSchedule(inst.topo, inst.specs, opt);
+    if (!base.schedule.info.feasible) continue;
+    ASSERT_TRUE(validate(inst.topo, base.schedule).empty());
+    for (const auto& [name, mutate] : mutators) {
+      Schedule mutated = base.schedule;
+      Rng rng(seed * 1000 + static_cast<std::uint64_t>(applied));
+      if (!mutate(inst.topo, &mutated, &rng)) continue;
+      const auto violations = validate(inst.topo, mutated);
+      EXPECT_FALSE(violations.empty())
+          << "validator accepted a '" << name
+          << "' mutation on corpus seed " << seed * 2;
+      ++applied;
+    }
+  }
+  // Every mutation family must have actually run, several times over.
+  EXPECT_GE(applied, 30);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(SchedPortfolioDeterminism, ByteIdenticalAcrossThreadCounts) {
+  // Seed 41 is outside the squeezed (UNSAT) corpus slice, so the instance
+  // is feasible and the fingerprint covers actual slots.
+  const Instance inst = makeInstance(41);
+  std::string reference;
+  for (const int threads : {1, 2, 8}) {
+    auto opt = optionsFor("portfolio");
+    opt.portfolio.seed = 7;
+    opt.portfolio.threads = threads;
+    const auto ms = buildSchedule(inst.topo, inst.specs, opt);
+    ASSERT_TRUE(ms.schedule.info.feasible);
+    const std::string fp = fingerprint(ms);
+    if (reference.empty()) {
+      reference = fp;
+    } else {
+      EXPECT_EQ(reference, fp)
+          << "portfolio result differs at --threads " << threads;
+    }
+  }
+}
+
+TEST(SchedPortfolioDeterminism, ByteIdenticalAcrossRepeatedRuns) {
+  const Instance inst = makeInstance(43);
+  std::string reference;
+  for (int run = 0; run < 3; ++run) {
+    auto opt = optionsFor("portfolio");
+    opt.portfolio.seed = 11;
+    const auto ms = buildSchedule(inst.topo, inst.specs, opt);
+    const std::string fp = fingerprint(ms);
+    if (reference.empty()) {
+      reference = fp;
+    } else {
+      EXPECT_EQ(reference, fp) << "portfolio result differs on run " << run;
+    }
+  }
+}
+
+// Greedy with no rip-up budget is definitionally the first-fit placer on
+// the Placement substrate; slot-set equality with HeuristicPlacer proves
+// the substrate (including its bitmap fast path) against the pairwise
+// reference implementation.
+TEST(SchedPortfolioSubstrate, GreedyWithoutBacktrackingMatchesFirstFit) {
+  for (std::uint64_t seed = 100; seed < 120; ++seed) {
+    const Instance inst = makeInstance(seed);
+    SchedulerConfig config;
+    config.numProbabilistic = 3;
+    const Expansion exp = expandStreams(inst.topo, inst.specs, config);
+
+    HeuristicPlacer placer(inst.topo, exp.streams, config);
+    const bool firstFitOk = placer.place();
+
+    PortfolioOptions opts;
+    opts.greedyBacktrack = 0;
+    const EngineResult greedy =
+        runGreedy(inst.topo, exp.streams, config, opts);
+
+    ASSERT_EQ(firstFitOk, greedy.feasible) << "instance " << seed;
+    if (!firstFitOk) continue;
+    auto sortSlots = [](std::vector<Slot> v) {
+      std::sort(v.begin(), v.end(), [](const Slot& a, const Slot& b) {
+        return std::tie(a.stream, a.hop, a.frameIndex) <
+               std::tie(b.stream, b.hop, b.frameIndex);
+      });
+      return v;
+    };
+    const auto a = sortSlots(placer.slots());
+    const auto b = sortSlots(greedy.slots);
+    ASSERT_EQ(a.size(), b.size()) << "instance " << seed;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].start, b[i].start) << "instance " << seed;
+      EXPECT_EQ(a[i].duration, b[i].duration) << "instance " << seed;
+    }
+  }
+}
+
+// Link-disjoint components place identically whether or not the other
+// component is present: the divide step genuinely decomposes the problem.
+TEST(SchedPortfolioSubstrate, DncComponentsAreIndependent) {
+  // Two switch islands of one line topology; streams never cross the
+  // middle, so the stream sets of sw0 and sw3 are link-disjoint.
+  const net::Topology topo =
+      workload::makeScaledTopology(workload::TopologyKind::Line, 4, 3);
+  const auto devs = topo.devices();  // grouped by switch, 3 per switch
+  auto tct = [&](const std::string& name, net::NodeId src, net::NodeId dst) {
+    net::StreamSpec s;
+    s.name = name;
+    s.src = src;
+    s.dst = dst;
+    s.period = milliseconds(4);
+    s.maxLatency = milliseconds(4);
+    s.payloadBytes = 400;
+    s.type = net::TrafficClass::TimeTriggered;
+    return s;
+  };
+  std::vector<net::StreamSpec> islandA = {tct("a1", devs[0], devs[1]),
+                                          tct("a2", devs[1], devs[2]),
+                                          tct("a3", devs[2], devs[0])};
+  std::vector<net::StreamSpec> islandB = {tct("b1", devs[9], devs[10]),
+                                          tct("b2", devs[10], devs[11])};
+
+  SchedulerConfig config;
+  const Expansion expA = expandStreams(topo, islandA, config);
+  std::vector<net::StreamSpec> both = islandA;
+  both.insert(both.end(), islandB.begin(), islandB.end());
+  const Expansion expBoth = expandStreams(topo, both, config);
+
+  PortfolioOptions opts;
+  const EngineResult a = runDnc(topo, expA.streams, config, opts);
+  const EngineResult combined = runDnc(topo, expBoth.streams, config, opts);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(combined.feasible);
+
+  // Island A's expanded ids are identical in both runs (specs come first),
+  // so its slots must be bit-identical.
+  auto slotsOf = [&](const std::vector<Slot>& slots, StreamId maxId) {
+    std::vector<Slot> out;
+    for (const Slot& s : slots) {
+      if (s.stream <= maxId) out.push_back(s);
+    }
+    std::sort(out.begin(), out.end(), [](const Slot& x, const Slot& y) {
+      return std::tie(x.stream, x.hop, x.frameIndex) <
+             std::tie(y.stream, y.hop, y.frameIndex);
+    });
+    return out;
+  };
+  const StreamId maxA =
+      static_cast<StreamId>(expA.streams.size()) - 1;
+  const auto sa = slotsOf(a.slots, maxA);
+  const auto sb = slotsOf(combined.slots, maxA);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    EXPECT_EQ(sa[i].start, sb[i].start);
+    EXPECT_EQ(sa[i].duration, sb[i].duration);
+  }
+}
+
+// The gap probe certifies heuristic results against the exact engine and
+// reports a sane optimality gap.
+TEST(SchedPortfolioCertification, GapProbeCertifiesFeasibleInstances) {
+  const Instance inst = makeInstance(44);
+  auto opt = optionsFor("portfolio");
+  opt.portfolio.seed = 3;
+  opt.certify = true;
+  const auto ms = buildSchedule(inst.topo, inst.specs, opt);
+  ASSERT_TRUE(ms.schedule.info.feasible);
+  EXPECT_TRUE(ms.schedule.info.certified);
+  EXPECT_GT(ms.schedule.info.flowspanTu, 0);
+  EXPECT_GT(ms.schedule.info.flowspanLowerBoundTu, 0);
+  EXPECT_LE(ms.schedule.info.flowspanLowerBoundTu,
+            ms.schedule.info.flowspanTu);
+  EXPECT_GE(ms.schedule.info.gapPercent, 0.0);
+}
+
+}  // namespace
+}  // namespace etsn::sched
