@@ -37,6 +37,14 @@ std::int64_t totalDropped(const ExperimentResult& r, bool outage) {
   return n;
 }
 
+/// Sidecar metadata per campaign cell (parallel to the task order), so the
+/// machine-readable rows don't have to re-parse the display labels.
+struct RowMeta {
+  const char* sweep;  // "loss" | "burst" | "outage" | "babble"
+  double param;       // rate, outage ms, or babble us
+  const char* method;
+};
+
 void printCell(const char* label, const ExperimentResult& r) {
   if (!r.feasible) {
     std::printf("  %-20s INFEASIBLE (engine %s)\n", label,
@@ -70,6 +78,7 @@ int main(int argc, char** argv) {
 
   Campaign c;
   c.name = "fault_sweep";
+  std::vector<RowMeta> meta;
   for (const double rate : lossRates) {
     for (const sched::Method m : methods) {
       char label[64];
@@ -85,6 +94,7 @@ int main(int argc, char** argv) {
         }
         return ex;
       });
+      meta.push_back({"loss", rate, sched::methodName(m)});
       if (args.full && rate > 0) {
         std::snprintf(label, sizeof label, "burst%.0e/%s", rate,
                       sched::methodName(m));
@@ -100,6 +110,7 @@ int main(int argc, char** argv) {
           ex.simConfig.faults.losses.push_back(loss);
           return ex;
         });
+        meta.push_back({"burst", rate, sched::methodName(m)});
       }
     }
   }
@@ -122,6 +133,9 @@ int main(int argc, char** argv) {
         }
         return ex;
       });
+      meta.push_back({"outage",
+                      static_cast<double>(len / milliseconds(1)),
+                      sched::methodName(m)});
     }
   }
 
@@ -148,10 +162,17 @@ int main(int argc, char** argv) {
         ex.simConfig.faults.babblers.push_back(b);
         return ex;
       });
+      meta.push_back({"babble",
+                      static_cast<double>(interval / microseconds(1)),
+                      sched::methodName(m)});
     }
   }
 
-  const CampaignResult r = bench::runBenchCampaign(std::move(c), args);
+  // The harness would dump the raw campaign to --json; this bench instead
+  // emits per-cell rows in the shared {"bench", "rows"} schema below.
+  bench::Args campaignArgs = args;
+  campaignArgs.jsonPath.clear();
+  const CampaignResult r = bench::runBenchCampaign(std::move(c), campaignArgs);
 
   bench::printHeader(
       "Fault sweep: delivery ratio under loss, outages and babblers");
@@ -168,6 +189,38 @@ int main(int argc, char** argv) {
       ++next;
     }
     printCell(t.label.c_str(), t.result);
+  }
+
+  // Machine-readable rows (same top-level schema as bench_smt_scaling's
+  // BENCH_sched.json: one "bench" tag, one flat "rows" array).
+  const std::string path =
+      args.jsonPath.empty() ? "BENCH_faults.json" : args.jsonPath;
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"fault_sweep\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < r.tasks.size(); ++i) {
+    const ExperimentResult& res = r.tasks[i].result;
+    const RowMeta& rm = meta[i];
+    char row[320];
+    std::snprintf(
+        row, sizeof row,
+        "    {\"sweep\": \"%s\", \"param\": %g, \"method\": \"%s\", "
+        "\"feasible\": %s, \"ect\": %.6f, \"tct\": %.6f, "
+        "\"tct_miss\": %lld, \"dropped_loss\": %lld, "
+        "\"dropped_outage\": %lld}",
+        rm.sweep, rm.param, rm.method, res.feasible ? "true" : "false",
+        classRatio(res, net::TrafficClass::EventTriggered),
+        classRatio(res, net::TrafficClass::TimeTriggered),
+        static_cast<long long>(bench::totalTctMisses(res)),
+        static_cast<long long>(totalDropped(res, false)),
+        static_cast<long long>(totalDropped(res, true)));
+    out << row << (i + 1 == r.tasks.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+  if (out) {
+    std::printf("[fault_sweep: machine-readable rows -> %s]\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "[fault_sweep: cannot write rows to %s]\n",
+                 path.c_str());
   }
   return 0;
 }

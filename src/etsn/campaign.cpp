@@ -85,6 +85,10 @@ void appendStream(std::string& out, const StreamResult& s,
   appendKv(out, "dropped_overflow", s.framesDroppedOverflow);
   appendKv(out, "policer_violations", s.policerViolations);
   appendKv(out, "blocked_intervals", s.blockedIntervals);
+  appendKv(out, "frames_replicated", s.framesReplicated);
+  appendKv(out, "duplicates_eliminated", s.duplicatesEliminated);
+  appendKv(out, "recovered_by_redundancy", s.recoveredByRedundancy);
+  appendKv(out, "frer_latent_alarms", s.frerLatentAlarms);
   appendKv(out, "delivery_ratio", s.deliveryRatio);
   out += "\"latency\":";
   appendSummary(out, s.latency);

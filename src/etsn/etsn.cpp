@@ -100,6 +100,10 @@ ExperimentResult runExperiment(const Experiment& ex) {
       r.framesDroppedOverflow = sr.framesDroppedOverflow;
       r.policerViolations = sr.policerViolations;
       r.blockedIntervals = sr.blockedIntervals;
+      r.framesReplicated = sr.framesReplicated;
+      r.duplicatesEliminated = sr.duplicatesEliminated;
+      r.recoveredByRedundancy = sr.recoveredByRedundancy;
+      r.frerLatentAlarms = sr.frerLatentAlarms;
       r.deliveryRatio = sr.deliveryRatio();
     }
     out.streams.push_back(std::move(r));

@@ -81,6 +81,12 @@ struct StreamResult {
   std::int64_t framesDroppedOverflow = 0;  // tail-dropped (bounded queues)
   std::int64_t policerViolations = 0;      // non-conformant frames seen
   std::int64_t blockedIntervals = 0;       // fail-silent episodes entered
+
+  // 802.1CB FRER (zero for unprotected streams).
+  std::int64_t framesReplicated = 0;       // extra member copies emitted
+  std::int64_t duplicatesEliminated = 0;   // discarded at the merge point
+  std::int64_t recoveredByRedundancy = 0;  // frags saved by a surviving copy
+  std::int64_t frerLatentAlarms = 0;       // latent-error detections
   /// delivered / sent (1.0 with nothing sent).
   double deliveryRatio = 1.0;
 };

@@ -121,11 +121,29 @@ PsfpConfig compileFilters(const Topology& topo, const sched::MethodSchedule& ms,
     if (spec.type == TrafficClass::EventTriggered) {
       // The source stays event-driven under every method (E-TSN, PERIOD's
       // Det conversion, AVB's shaped class), so the declared-rate meter is
-      // the right contract everywhere.
+      // the right contract everywhere.  FRER members carry one copy each
+      // of the declared rate — same meter, one runtime state per member.
       config.filters[i] =
           compileMeter(spec, specId, sched.config.numProbabilistic);
+      config.filters[i].members = std::max(1, spec.redundancy);
     } else if (!ids.empty()) {
-      config.filters[i] = compileGate(topo, sched, specId, ids[0], guard);
+      if (spec.redundancy > 1) {
+        // One gate per 802.1CB member: each member has its own hop-0
+        // slots and its own first link.  ids are member-major with one
+        // Det stream per member.
+        StreamFilter f;
+        f.specId = specId;
+        f.kind = StreamFilter::Kind::Gate;
+        f.members = static_cast<int>(ids.size());
+        for (const sched::StreamId id : ids) {
+          f.memberGates.push_back(
+              compileGate(topo, sched, specId, id, guard).gate);
+        }
+        f.gate = f.memberGates[0];
+        config.filters[i] = std::move(f);
+      } else {
+        config.filters[i] = compileGate(topo, sched, specId, ids[0], guard);
+      }
     } else {
       // Dropped by a link-failure repair: no talker is installed, nothing
       // to police.

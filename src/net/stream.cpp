@@ -18,6 +18,10 @@ void validateSpec(const Topology& topo, const StreamSpec& spec) {
   if (spec.releaseOffset < 0 || spec.releaseOffset >= spec.period) {
     if (spec.releaseOffset != 0) fail("release offset outside [0, period)");
   }
+  if (spec.redundancy < 1) fail("redundancy must be >= 1");
+  if (spec.redundancy > 1 && !spec.path.empty()) {
+    fail("explicit path is incompatible with redundancy > 1");
+  }
   if (!spec.path.empty()) {
     NodeId at = spec.src;
     for (const LinkId l : spec.path) {

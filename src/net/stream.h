@@ -45,6 +45,12 @@ struct StreamSpec {
   TrafficClass type = TrafficClass::TimeTriggered;
   /// TCT only (s.share): whether ECT may share this stream's time-slots.
   bool share = false;
+  /// 802.1CB FRER: number of member streams carrying this stream over
+  /// mutually link-disjoint paths.  1 = no replication.  Values > 1 require
+  /// an empty `path` (members are routed via Topology::disjointPaths) and a
+  /// topology that can supply that many disjoint paths, e.g. dual-homed end
+  /// devices as in makeRedundantTopology.
+  int redundancy = 1;
 };
 
 /// Validate a spec against a topology; throws ConfigError with a

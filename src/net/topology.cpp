@@ -58,10 +58,24 @@ std::vector<LinkId> Topology::shortestPath(NodeId src, NodeId dst) const {
 
 std::vector<LinkId> Topology::shortestPathAvoiding(NodeId src, NodeId dst,
                                                    LinkId avoid) const {
+  if (avoid == kNoLink) {
+    return shortestPathAvoiding(src, dst, std::span<const LinkId>{});
+  }
+  const LinkId one[1] = {avoid};
+  return shortestPathAvoiding(src, dst, std::span<const LinkId>(one, 1));
+}
+
+std::vector<LinkId> Topology::shortestPathAvoiding(
+    NodeId src, NodeId dst, std::span<const LinkId> avoid) const {
   ETSN_CHECK(src >= 0 && src < numNodes() && dst >= 0 && dst < numNodes());
   ETSN_CHECK_MSG(src != dst, "stream source equals destination");
-  const LinkId avoidRev =
-      avoid == kNoLink ? kNoLink : links_[static_cast<std::size_t>(avoid)].reverse;
+  std::vector<char> cut(links_.size(), 0);
+  for (const LinkId a : avoid) {
+    ETSN_CHECK(a >= 0 && static_cast<std::size_t>(a) < links_.size());
+    cut[static_cast<std::size_t>(a)] = 1;
+    cut[static_cast<std::size_t>(links_[static_cast<std::size_t>(a)].reverse)] =
+        1;
+  }
   std::vector<LinkId> via(static_cast<std::size_t>(numNodes()), kNoLink);
   std::vector<char> visited(static_cast<std::size_t>(numNodes()), 0);
   std::deque<NodeId> queue{src};
@@ -71,7 +85,7 @@ std::vector<LinkId> Topology::shortestPathAvoiding(NodeId src, NodeId dst,
     queue.pop_front();
     if (n == dst) break;
     for (const LinkId l : out_[static_cast<std::size_t>(n)]) {
-      if (l == avoid || l == avoidRev) continue;
+      if (cut[static_cast<std::size_t>(l)]) continue;
       const NodeId next = links_[static_cast<std::size_t>(l)].to;
       if (visited[static_cast<std::size_t>(next)]) continue;
       visited[static_cast<std::size_t>(next)] = 1;
@@ -88,6 +102,21 @@ std::vector<LinkId> Topology::shortestPathAvoiding(NodeId src, NodeId dst,
   }
   std::reverse(path.begin(), path.end());
   return path;
+}
+
+std::vector<std::vector<LinkId>> Topology::disjointPaths(NodeId src,
+                                                         NodeId dst,
+                                                         int k) const {
+  ETSN_CHECK_MSG(k >= 1, "disjointPaths requires k >= 1");
+  std::vector<std::vector<LinkId>> paths;
+  std::vector<LinkId> used;
+  for (int i = 0; i < k; ++i) {
+    std::vector<LinkId> p = shortestPathAvoiding(src, dst, used);
+    if (p.empty()) break;
+    used.insert(used.end(), p.begin(), p.end());
+    paths.push_back(std::move(p));
+  }
+  return paths;
 }
 
 std::vector<NodeId> Topology::devices() const {
@@ -131,6 +160,45 @@ Topology makeSimulationTopology(const LinkParams& params) {
   for (int i = 0; i < 3; ++i) {
     t.connect(switches[static_cast<std::size_t>(i)],
               switches[static_cast<std::size_t>(i + 1)], params);
+  }
+  return t;
+}
+
+Topology makeRedundantTopology(int spineLength, int devicesPerSwitch,
+                               const LinkParams& params) {
+  ETSN_CHECK_MSG(spineLength >= 1, "spineLength must be >= 1");
+  ETSN_CHECK_MSG(devicesPerSwitch >= 0, "devicesPerSwitch must be >= 0");
+  Topology t;
+  const NodeId talker = t.addDevice("T");
+  const NodeId listener = t.addDevice("L");
+  std::vector<NodeId> spineA;
+  std::vector<NodeId> spineB;
+  for (int i = 1; i <= spineLength; ++i) {
+    spineA.push_back(t.addSwitch("A" + std::to_string(i)));
+  }
+  for (int i = 1; i <= spineLength; ++i) {
+    spineB.push_back(t.addSwitch("B" + std::to_string(i)));
+  }
+  for (int i = 0; i + 1 < spineLength; ++i) {
+    t.connect(spineA[static_cast<std::size_t>(i)],
+              spineA[static_cast<std::size_t>(i + 1)], params);
+    t.connect(spineB[static_cast<std::size_t>(i)],
+              spineB[static_cast<std::size_t>(i + 1)], params);
+  }
+  // Dual-home the end devices: spine A is wired first so link-id tie-breaks
+  // make it the primary (member 1) path.
+  t.connect(talker, spineA.front(), params);
+  t.connect(talker, spineB.front(), params);
+  t.connect(spineA.back(), listener, params);
+  t.connect(spineB.back(), listener, params);
+  for (const std::vector<NodeId>* spine : {&spineA, &spineB}) {
+    for (std::size_t i = 0; i < spine->size(); ++i) {
+      for (int d = 1; d <= devicesPerSwitch; ++d) {
+        const std::string swName = t.node((*spine)[i]).name;
+        t.connect(t.addDevice("D" + swName + "." + std::to_string(d)),
+                  (*spine)[i], params);
+      }
+    }
   }
   return t;
 }

@@ -84,6 +84,23 @@ class Topology {
   std::vector<LinkId> shortestPathAvoiding(NodeId src, NodeId dst,
                                            LinkId avoid) const;
 
+  /// Like shortestPath, but treats every link in `avoid` (and each one's
+  /// reverse — a cut cable kills both directions) as removed.  Returns an
+  /// empty vector when dst is unreachable without them.
+  std::vector<LinkId> shortestPathAvoiding(NodeId src, NodeId dst,
+                                           std::span<const LinkId> avoid) const;
+
+  /// Up to k mutually link-disjoint paths from src to dst, computed by
+  /// iterative shortest-path with edge removal: path i+1 is the shortest
+  /// path avoiding every cable used by paths 1..i.  Tie-breaks are
+  /// deterministic (BFS in link-id order), so member i is stable across
+  /// runs.  Returns fewer than k entries when the topology cannot supply
+  /// them; callers decide whether that is fatal.  Paths are disjoint at
+  /// cable granularity: no two share a link or a link's reverse, so no
+  /// single cable failure can cut more than one member.
+  std::vector<std::vector<LinkId>> disjointPaths(NodeId src, NodeId dst,
+                                                 int k) const;
+
   /// All devices (convenience for workload generators).
   std::vector<NodeId> devices() const;
 
@@ -103,5 +120,16 @@ Topology makeTestbedTopology(const LinkParams& params = {});
 /// The paper's simulation network (Fig. 13): four switches in a line, each
 /// with three devices.  Device i (0-based 0..11) attaches to switch i/3.
 Topology makeSimulationTopology(const LinkParams& params = {});
+
+/// A redundancy-capable cell for 802.1CB FRER drills: two parallel switch
+/// spines ("A" and "B") of `spineLength` switches each, with the talker
+/// device T (node 0) dual-homed to the heads and the listener device L
+/// (node 1) dual-homed to the tails — PRP-style dual attachment, so T->L
+/// has two fully link-disjoint paths.  Each spine switch additionally
+/// carries `devicesPerSwitch` single-homed devices for background traffic.
+/// Node order: T, L, A1..An, B1..Bn, then background devices (spine A's
+/// first, switch by switch).
+Topology makeRedundantTopology(int spineLength = 2, int devicesPerSwitch = 1,
+                               const LinkParams& params = {});
 
 }  // namespace etsn::net

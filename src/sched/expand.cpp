@@ -69,24 +69,33 @@ Expansion expandStreams(const net::Topology& topo,
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const net::StreamSpec& spec = specs[i];
     net::validateSpec(topo, spec);
-    std::vector<net::LinkId> path =
-        spec.path.empty() ? topo.shortestPath(spec.src, spec.dst) : spec.path;
+    // FRER (802.1CB): a protected spec becomes `redundancy` member groups,
+    // one per link-disjoint path.  Unprotected specs are the 1-member case.
+    std::vector<std::vector<net::LinkId>> paths;
+    if (spec.redundancy > 1) {
+      paths = topo.disjointPaths(spec.src, spec.dst, spec.redundancy);
+      if (static_cast<int>(paths.size()) < spec.redundancy) {
+        throw ConfigError(
+            "stream '" + spec.name + "': redundancy " +
+            std::to_string(spec.redundancy) + " needs that many link-" +
+            "disjoint paths but the topology supplies only " +
+            std::to_string(paths.size()));
+      }
+    } else {
+      paths.push_back(spec.path.empty() ? topo.shortestPath(spec.src, spec.dst)
+                                        : spec.path);
+    }
+    auto memberName = [&](int m) {
+      return spec.redundancy > 1 ? spec.name + "/m" + std::to_string(m + 1)
+                                 : spec.name;
+    };
     const std::vector<int> payloads = net::fragmentPayload(spec.payloadBytes);
 
     if (spec.type == net::TrafficClass::TimeTriggered) {
-      ExpandedStream s;
-      s.id = static_cast<StreamId>(out.streams.size());
-      s.specId = static_cast<std::int32_t>(i);
-      s.name = spec.name;
-      s.kind = StreamKind::Det;
-      s.path = std::move(path);
-      s.share = spec.share;
-      s.period = spec.period;
-      s.maxLatency = spec.maxLatency;
-      s.occurrence = spec.releaseOffset;  // the application's release phase
-      s.framePayloads = payloads;
-      s.framesOnLink.assign(s.path.size(),
-                            static_cast<int>(payloads.size()));
+      // Resolve the priority once per spec — every member carries the same
+      // 802.1Q priority, and the round-robin must advance per spec, not per
+      // member, so redundancy never perturbs other specs' priorities.
+      int priority;
       if (spec.priority >= 0) {
         const int lo = spec.share ? config.sharedPrioLow : config.nonSharedPrioLow;
         const int hi = spec.share ? config.sharedPrioHigh : config.nonSharedPrioHigh;
@@ -94,18 +103,35 @@ Expansion expandStreams(const net::Topology& topo,
           throw ConfigError("stream '" + spec.name +
                             "': priority outside its group (constraint 6)");
         }
-        s.priority = spec.priority;
+        priority = spec.priority;
       } else if (spec.share) {
-        s.priority = config.sharedPrioLow +
-                     sharedRr++ % (config.sharedPrioHigh -
-                                   config.sharedPrioLow + 1);
+        priority = config.sharedPrioLow +
+                   sharedRr++ % (config.sharedPrioHigh -
+                                 config.sharedPrioLow + 1);
       } else {
-        s.priority = config.nonSharedPrioLow +
-                     nonSharedRr++ % (config.nonSharedPrioHigh -
-                                      config.nonSharedPrioLow + 1);
+        priority = config.nonSharedPrioLow +
+                   nonSharedRr++ % (config.nonSharedPrioHigh -
+                                    config.nonSharedPrioLow + 1);
       }
-      out.specToStreams[i].push_back(s.id);
-      out.streams.push_back(std::move(s));
+      for (int m = 0; m < static_cast<int>(paths.size()); ++m) {
+        ExpandedStream s;
+        s.id = static_cast<StreamId>(out.streams.size());
+        s.specId = static_cast<std::int32_t>(i);
+        s.member = m;
+        s.name = memberName(m);
+        s.kind = StreamKind::Det;
+        s.path = paths[static_cast<std::size_t>(m)];
+        s.share = spec.share;
+        s.period = spec.period;
+        s.maxLatency = spec.maxLatency;
+        s.occurrence = spec.releaseOffset;  // the application's release phase
+        s.framePayloads = payloads;
+        s.framesOnLink.assign(s.path.size(),
+                              static_cast<int>(payloads.size()));
+        s.priority = priority;
+        out.specToStreams[i].push_back(s.id);
+        out.streams.push_back(std::move(s));
+      }
     } else {
       // ECT: derive N probabilistic streams (§III-B).
       const int n = config.numProbabilistic;
@@ -122,21 +148,27 @@ Expansion expandStreams(const net::Topology& topo,
         throw ConfigError("stream '" + spec.name +
                           "': ECT must use the EP priority (constraint 6)");
       }
-      for (int k = 0; k < n; ++k) {
-        ExpandedStream s;
-        s.id = static_cast<StreamId>(out.streams.size());
-        s.specId = static_cast<std::int32_t>(i);
-        s.name = spec.name + "/ps" + std::to_string(k + 1);
-        s.kind = StreamKind::Prob;
-        s.path = path;
-        s.priority = config.ectPriority;
-        s.period = spec.period;
-        s.maxLatency = tightened;
-        s.occurrence = static_cast<TimeNs>(k) * stagger;
-        s.framePayloads = payloads;
-        s.framesOnLink.assign(path.size(), static_cast<int>(payloads.size()));
-        out.specToStreams[i].push_back(s.id);
-        out.streams.push_back(std::move(s));
+      for (int m = 0; m < static_cast<int>(paths.size()); ++m) {
+        const std::vector<net::LinkId>& mPath =
+            paths[static_cast<std::size_t>(m)];
+        for (int k = 0; k < n; ++k) {
+          ExpandedStream s;
+          s.id = static_cast<StreamId>(out.streams.size());
+          s.specId = static_cast<std::int32_t>(i);
+          s.member = m;
+          s.name = memberName(m) + "/ps" + std::to_string(k + 1);
+          s.kind = StreamKind::Prob;
+          s.path = mPath;
+          s.priority = config.ectPriority;
+          s.period = spec.period;
+          s.maxLatency = tightened;
+          s.occurrence = static_cast<TimeNs>(k) * stagger;
+          s.framePayloads = payloads;
+          s.framesOnLink.assign(mPath.size(),
+                                static_cast<int>(payloads.size()));
+          out.specToStreams[i].push_back(s.id);
+          out.streams.push_back(std::move(s));
+        }
       }
     }
   }
@@ -151,18 +183,26 @@ Expansion expandStreams(const net::Topology& topo,
       for (std::size_t e = 0; e < specs.size(); ++e) {
         const net::StreamSpec& se = specs[e];
         if (se.type != net::TrafficClass::EventTriggered) continue;
-        // Does the ECT stream pass this link?  (All its Prob streams use
-        // the same path; check via the first one.)
+        // Does the ECT stream pass this link?  All Prob streams of one FRER
+        // member share a path, so probe the first stream of each member
+        // group; member paths are link-disjoint, so at most one group of
+        // this spec crosses the link.
         const auto& probIds = out.specToStreams[e];
         ETSN_CHECK(!probIds.empty());
-        const ExpandedStream& pe =
-            out.streams[static_cast<std::size_t>(probIds[0])];
-        if (std::find(pe.path.begin(), pe.path.end(), link) == pe.path.end())
-          continue;
-        const int extra = prudentExtraFrames(
-            st.baseFrames(), maxFrameTxTime(st, topo.link(link)),
-            pe.baseFrames(), se.period);
-        st.framesOnLink[hop] += extra;
+        for (std::size_t b = 0; b < probIds.size(); ++b) {
+          const ExpandedStream& pe =
+              out.streams[static_cast<std::size_t>(probIds[b])];
+          if (b > 0 &&
+              pe.member ==
+                  out.streams[static_cast<std::size_t>(probIds[b - 1])].member)
+            continue;  // not the first stream of its member group
+          if (std::find(pe.path.begin(), pe.path.end(), link) == pe.path.end())
+            continue;
+          const int extra = prudentExtraFrames(
+              st.baseFrames(), maxFrameTxTime(st, topo.link(link)),
+              pe.baseFrames(), se.period);
+          st.framesOnLink[hop] += extra;
+        }
       }
     }
   }

@@ -92,26 +92,39 @@ NetworkProgram compileProgram(const net::Topology& topo,
     }
 
     if (spec.type == net::TrafficClass::TimeTriggered) {
-      ETSN_CHECK(ids.size() == 1);
-      const ExpandedStream& s =
-          sched.streams[static_cast<std::size_t>(ids[0])];
-      const auto firstSlots = sched.slotsOf(s.id, 0);
-      ETSN_CHECK(!firstSlots.empty());
+      // ids are member-major: one Det stream per 802.1CB member (one total
+      // for unprotected specs).
       TalkerConfig t;
       t.specId = static_cast<std::int32_t>(i);
-      t.stream = s.id;
-      t.priority = s.priority;
-      t.offset = firstSlots.front().start;
-      t.period = s.period;
-      t.maxLatency = spec.maxLatency;
-      t.framePayloads = s.framePayloads;
-      // Base frames only: extra (prudent-reservation) slots are capacity
-      // for displaced frames, not additional transmissions.
-      for (int j = 0; j < s.baseFrames(); ++j) {
-        t.frameOffsets.push_back(
-            firstSlots[static_cast<std::size_t>(j)].start);
+      for (const StreamId id : ids) {
+        const ExpandedStream& s = sched.streams[static_cast<std::size_t>(id)];
+        const auto firstSlots = sched.slotsOf(s.id, 0);
+        ETSN_CHECK(!firstSlots.empty());
+        TalkerMember m;
+        m.stream = s.id;
+        m.offset = firstSlots.front().start;
+        // Base frames only: extra (prudent-reservation) slots are capacity
+        // for displaced frames, not additional transmissions.
+        for (int j = 0; j < s.baseFrames(); ++j) {
+          m.frameOffsets.push_back(
+              firstSlots[static_cast<std::size_t>(j)].start);
+        }
+        m.route = s.path;
+        t.members.push_back(std::move(m));
       }
-      t.route = s.path;
+      const ExpandedStream& s0 =
+          sched.streams[static_cast<std::size_t>(ids[0])];
+      t.stream = s0.id;
+      t.priority = s0.priority;
+      t.period = s0.period;
+      t.maxLatency = spec.maxLatency;
+      t.framePayloads = s0.framePayloads;
+      t.offset = t.members[0].offset;
+      for (const TalkerMember& m : t.members) {
+        t.offset = std::min(t.offset, m.offset);
+      }
+      t.frameOffsets = t.members[0].frameOffsets;
+      t.route = t.members[0].route;
       prog.talkers.push_back(std::move(t));
       continue;
     }
@@ -123,30 +136,45 @@ NetworkProgram compileProgram(const net::Topology& topo,
     e.maxLatency = spec.maxLatency;
     e.framePayloads = net::fragmentPayload(spec.payloadBytes);
     switch (ms.method) {
-      case Method::ETSN: {
-        ETSN_CHECK(!ids.empty());  // the probabilistic streams
-        const ExpandedStream& ps =
-            sched.streams[static_cast<std::size_t>(ids[0])];
-        e.priority = ps.priority;  // EP
-        e.route = ps.path;
-        break;
-      }
+      case Method::ETSN:
       case Method::PERIOD: {
-        ETSN_CHECK(ids.size() == 1);  // converted to one Det stream
-        const ExpandedStream& s =
-            sched.streams[static_cast<std::size_t>(ids[0])];
-        e.priority = s.priority;
-        e.route = s.path;
+        // ETSN: the probabilistic streams, member-major (N per member);
+        // PERIOD: the converted Det streams, one per member.  The first
+        // stream of each member group carries that member's path.
+        ETSN_CHECK(!ids.empty());
+        e.priority =
+            sched.streams[static_cast<std::size_t>(ids[0])].priority;
+        std::int32_t prevMember = -1;
+        for (const StreamId id : ids) {
+          const ExpandedStream& ps =
+              sched.streams[static_cast<std::size_t>(id)];
+          if (ps.member == prevMember) continue;
+          prevMember = ps.member;
+          e.memberRoutes.push_back(ps.path);
+        }
         break;
       }
       case Method::AVB: {
         ETSN_CHECK(ids.empty());  // unscheduled; CBS queue at runtime
         e.priority = sched.config.ectPriority;
-        e.route = spec.path.empty() ? topo.shortestPath(spec.src, spec.dst)
-                                    : spec.path;
+        if (spec.redundancy > 1) {
+          e.memberRoutes =
+              topo.disjointPaths(spec.src, spec.dst, spec.redundancy);
+          if (static_cast<int>(e.memberRoutes.size()) < spec.redundancy) {
+            throw ConfigError("stream '" + spec.name +
+                              "': topology cannot supply " +
+                              std::to_string(spec.redundancy) +
+                              " disjoint paths for AVB replication");
+          }
+        } else {
+          e.memberRoutes.push_back(spec.path.empty()
+                                       ? topo.shortestPath(spec.src, spec.dst)
+                                       : spec.path);
+        }
         break;
       }
     }
+    e.route = e.memberRoutes[0];
     prog.ectSources.push_back(std::move(e));
   }
 

@@ -13,20 +13,39 @@
 
 namespace etsn::sched {
 
-/// Time-triggered talker: enqueues one message instance per period.
+/// One 802.1CB FRER member leg of a time-triggered talker: the member's
+/// link-disjoint route and its own hop-0 pacing offsets.  An unprotected
+/// talker has exactly one member, mirrored by the legacy top-level fields.
+struct TalkerMember {
+  StreamId stream = -1;
+  TimeNs offset = 0;  // first-slot offset within the period grid
+  /// Per-frame enqueue offsets within the period grid (the end station
+  /// paces frames to their first-link slots, per 802.1Qbv).  Same length
+  /// as TalkerConfig::framePayloads; frameOffsets[0] == offset.
+  std::vector<TimeNs> frameOffsets;
+  std::vector<net::LinkId> route;
+};
+
+/// Time-triggered talker: enqueues one message instance per period.  A
+/// FRER-protected talker (spec.redundancy > 1) is the replication point:
+/// every frame is emitted once per member, all copies sharing one R-TAG
+/// sequence number, each paced to its member's slots.
 struct TalkerConfig {
   std::int32_t specId = -1;
-  StreamId stream = -1;
+  StreamId stream = -1;  // members[0]'s stream id
   int priority = 0;
-  TimeNs offset = 0;  // first-slot offset within the period grid
+  /// Release offset within the period grid: the earliest member's first
+  /// slot.  All member copies are stamped with this creation time.
+  TimeNs offset = 0;
   TimeNs period = 0;
   TimeNs maxLatency = 0;  // deadline, for miss accounting
   std::vector<int> framePayloads;
-  /// Per-frame enqueue offsets within the period grid (the end station
-  /// paces frames to their first-link slots, per 802.1Qbv).  Same length
-  /// as framePayloads; frameOffsets[0] == offset.
+  /// Legacy single-path view, mirroring members[0].
   std::vector<TimeNs> frameOffsets;
   std::vector<net::LinkId> route;
+  /// One entry per 802.1CB member in member-index order; size 1 when the
+  /// stream is unprotected.
+  std::vector<TalkerMember> members;
 };
 
 /// Event-triggered source: enqueues a message at stochastic event times.
@@ -36,7 +55,11 @@ struct EctSourceConfig {
   TimeNs minInterevent = 0;
   TimeNs maxLatency = 0;
   std::vector<int> framePayloads;
+  /// Legacy single-path view, mirroring memberRoutes[0].
   std::vector<net::LinkId> route;
+  /// One link-disjoint route per 802.1CB member (size 1 = unprotected);
+  /// an event's frames are replicated onto every route at emission.
+  std::vector<std::vector<net::LinkId>> memberRoutes;
 };
 
 /// Credit-based shaper applied on every egress port for one queue.

@@ -81,6 +81,10 @@ struct ExpandedStream {
   StreamId id = -1;
   /// Index into the input StreamSpec array this stream came from.
   std::int32_t specId = -1;
+  /// 802.1CB FRER member index, 0 .. spec.redundancy-1.  Members of one
+  /// spec carry identical payload over mutually link-disjoint paths; 0 for
+  /// unprotected streams.
+  std::int32_t member = 0;
   std::string name;
   StreamKind kind = StreamKind::Det;
   std::vector<net::LinkId> path;
@@ -146,7 +150,8 @@ struct Schedule {
   SchedulerConfig config;
   std::vector<net::StreamSpec> specs;
   std::vector<ExpandedStream> streams;
-  /// Expanded stream ids per spec (1 for TCT, N for ECT).
+  /// Expanded stream ids per spec (redundancy for TCT, redundancy * N for
+  /// ECT; member-major order, i.e. all of member 0's streams first).
   std::vector<std::vector<StreamId>> specToStreams;
   std::vector<Slot> slots;
   TimeNs hyperperiod = 0;

@@ -158,6 +158,124 @@ std::vector<Violation> validate(const net::Topology& topo,
     }
   }
 
+  // (8) redundancy (802.1CB FRER): a protected spec's member groups must
+  // actually be seamless replicas — right member count, structurally
+  // identical groups, mutually cable-disjoint paths, and every member
+  // meeting the deadline from the common release instant (the earliest
+  // member's first slot), so losing any one path cannot cause a miss.
+  for (std::size_t i = 0; i < sched.specs.size(); ++i) {
+    const net::StreamSpec& spec = sched.specs[i];
+    if (spec.redundancy <= 1) continue;
+    const auto& ids = sched.specToStreams[i];
+    if (ids.empty()) continue;  // dropped (e.g. AVB ECT or a repair)
+    // Group streams by member, preserving member-major order.
+    std::vector<std::vector<const ExpandedStream*>> groups;
+    for (const StreamId id : ids) {
+      const ExpandedStream& s = sched.streams[static_cast<std::size_t>(id)];
+      if (groups.empty() ||
+          groups.back().front()->member != s.member) {
+        groups.emplace_back();
+      }
+      groups.back().push_back(&s);
+    }
+    if (static_cast<int>(groups.size()) != spec.redundancy) {
+      std::ostringstream os;
+      os << spec.name << ": " << groups.size() << " member groups, spec asks "
+         << spec.redundancy;
+      report("(8) redundancy", os.str());
+      continue;
+    }
+    bool consistent = true;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].front()->member != static_cast<std::int32_t>(g)) {
+        report("(8) redundancy",
+               spec.name + ": member indices not contiguous from 0");
+        consistent = false;
+        break;
+      }
+      if (g == 0) continue;
+      if (groups[g].size() != groups[0].size()) {
+        report("(8) redundancy",
+               spec.name + ": member groups differ in stream count");
+        consistent = false;
+        break;
+      }
+      for (std::size_t j = 0; j < groups[g].size(); ++j) {
+        const ExpandedStream& a = *groups[0][j];
+        const ExpandedStream& b = *groups[g][j];
+        if (a.kind != b.kind || a.period != b.period ||
+            a.priority != b.priority || a.occurrence != b.occurrence ||
+            a.framePayloads != b.framePayloads) {
+          report("(8) redundancy",
+                 spec.name + ": members '" + a.name + "' and '" + b.name +
+                     "' are not structural replicas");
+          consistent = false;
+          break;
+        }
+      }
+      if (!consistent) break;
+    }
+    if (!consistent) continue;
+    // Cable-level disjointness: no two member groups may share a link or a
+    // link's reverse, else one cut kills both copies.
+    std::vector<std::vector<char>> cables(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      cables[g].assign(static_cast<std::size_t>(topo.numLinks()), 0);
+      for (const ExpandedStream* s : groups[g]) {
+        for (const net::LinkId l : s->path) {
+          cables[g][static_cast<std::size_t>(l)] = 1;
+          const net::LinkId rev = topo.link(l).reverse;
+          if (rev != net::kNoLink) {
+            cables[g][static_cast<std::size_t>(rev)] = 1;
+          }
+        }
+      }
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      for (std::size_t h = g + 1; h < groups.size(); ++h) {
+        for (int l = 0; l < topo.numLinks(); ++l) {
+          if (cables[g][static_cast<std::size_t>(l)] &&
+              cables[h][static_cast<std::size_t>(l)]) {
+            std::ostringstream os;
+            os << spec.name << ": members " << g << " and " << h
+               << " share cable of link "
+               << topo.link(static_cast<net::LinkId>(l)).id;
+            report("(8) redundancy", os.str());
+            l = topo.numLinks();  // one report per pair is enough
+          }
+        }
+      }
+    }
+    // Seamless failover for Det members: the talker releases every copy at
+    // the earliest member's first slot, so each member's completion must
+    // stay within maxLatency of that common release — otherwise killing
+    // the early path turns the survivor into a deadline miss.
+    if (groups[0].front()->kind == StreamKind::Det) {
+      TimeNs release = slotOf(groups[0].front()->id, 0, 0).start;
+      for (const auto& group : groups) {
+        release = std::min(release, slotOf(group.front()->id, 0, 0).start);
+      }
+      for (const auto& group : groups) {
+        const ExpandedStream& s = *group.front();
+        const int lastHop = s.hops() - 1;
+        const Slot& last = slotOf(
+            s.id, lastHop,
+            s.framesOnLink[static_cast<std::size_t>(lastHop)] - 1);
+        const TimeNs completion =
+            last.start + last.duration +
+            topo.link(s.path[static_cast<std::size_t>(lastHop)])
+                .propagationDelay;
+        if (completion - release > s.maxLatency) {
+          std::ostringstream os;
+          os << s.name << ": completes " << formatTime(completion - release)
+             << " after the common release, exceeding "
+             << formatTime(s.maxLatency);
+          report("(8) redundancy", os.str());
+        }
+      }
+    }
+  }
+
   // (5) frame overlap with the probabilistic exceptions.  Slots are
   // grouped per directed link, so the cost is the sum of (slots-per-link)²
   // instead of (streams × hops)² — the difference between minutes and

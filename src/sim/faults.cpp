@@ -1,5 +1,8 @@
 #include "sim/faults.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/check.h"
 
 namespace etsn::sim {
@@ -47,6 +50,48 @@ void FaultPlan::validate(const net::Topology& topo,
                    "outage references unknown link " << o.link);
     ETSN_CHECK_MSG(o.downAt >= 0 && o.upAt >= 0,
                    "outage times must be non-negative");
+  }
+  // Overlapping outage episodes on one physical cable are a plan bug (the
+  // idiom is one interval per episode); the injector would silently union
+  // them and the plan's intent would be ambiguous.  Both directions of a
+  // cable count as the same resource, so canonicalize each episode to the
+  // lower directed-link id before comparing.
+  {
+    constexpr TimeNs kForever = std::numeric_limits<TimeNs>::max();
+    struct Episode {
+      net::LinkId cable;
+      TimeNs down;
+      TimeNs up;  // kForever when the outage never ends
+    };
+    std::vector<Episode> episodes;
+    for (const LinkOutage& o : outages) {
+      if (!o.active()) continue;
+      net::LinkId cable = o.link;
+      const net::LinkId rev = topo.link(o.link).reverse;
+      if (rev != net::kNoLink && rev < cable) cable = rev;
+      episodes.push_back(
+          {cable, o.downAt, o.upAt > o.downAt ? o.upAt : kForever});
+    }
+    std::sort(episodes.begin(), episodes.end(),
+              [](const Episode& a, const Episode& b) {
+                if (a.cable != b.cable) return a.cable < b.cable;
+                if (a.down != b.down) return a.down < b.down;
+                return a.up < b.up;
+              });
+    for (std::size_t i = 1; i < episodes.size(); ++i) {
+      const Episode& a = episodes[i - 1];
+      const Episode& b = episodes[i];
+      if (a.cable != b.cable) continue;
+      ETSN_CHECK_MSG(b.down >= a.up,
+                     "overlapping outages on link "
+                         << a.cable << ": [" << a.down << ", "
+                         << (a.up == kForever ? std::string("end-of-run")
+                                              : std::to_string(a.up))
+                         << ") overlaps [" << b.down << ", "
+                         << (b.up == kForever ? std::string("end-of-run")
+                                              : std::to_string(b.up))
+                         << ")");
+    }
   }
   for (const BabblingSource& b : babblers) {
     ETSN_CHECK_MSG(b.interval >= 0 && b.start >= 0 && b.stop >= 0,

@@ -100,10 +100,12 @@ struct FaultPlan {
   /// Throw InvariantError on a malformed plan instead of misbehaving
   /// mid-run: probabilities outside [0, 1], unknown link / node ids,
   /// negative times, a babbler with a rate but an empty [start, stop)
-  /// window, or a babbler naming a source index outside
-  /// [0, numEctSources).  A LinkOutage with upAt <= downAt is *valid* (the
-  /// documented "down for the rest of the run" idiom), as are inactive
-  /// default-constructed components.
+  /// window, a babbler naming a source index outside [0, numEctSources),
+  /// or two outage episodes overlapping on the same physical cable
+  /// (either direction — the injector would silently union them).  A
+  /// LinkOutage with upAt <= downAt is *valid* (the documented "down for
+  /// the rest of the run" idiom), as are inactive default-constructed
+  /// components.
   void validate(const net::Topology& topo, std::size_t numEctSources) const;
 };
 

@@ -29,7 +29,14 @@ struct Frame {
   int payloadBytes = 0;
   int priority = 0;   // egress queue (PCP)
   TimeNs created = 0;  // creation at the source (event occurrence)
-  int hop = 0;         // current index into the spec's route
+  int hop = 0;         // current index into the member's route
+  /// 802.1CB FRER member this copy travels on (0 for unprotected streams);
+  /// selects the route and the per-member policer state.
+  std::int32_t member = 0;
+  /// R-TAG sequence number: per-spec counter incremented once per
+  /// fragment emission, shared by all member copies of that fragment —
+  /// the key the merge point's sequence-recovery function eliminates on.
+  std::int64_t seq = 0;
 };
 
 /// Why the network killed a frame (loss attribution in the Recorder).

@@ -1,0 +1,105 @@
+#include "sim/frer.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "common/check.h"
+
+namespace etsn::sim {
+
+FrerRelay::FrerRelay(FrerConfig config, std::vector<int> replication)
+    : config_(std::move(config)), replication_(std::move(replication)) {
+  ETSN_CHECK_MSG(config_.historyLength >= 1 && config_.historyLength <= 64,
+                 "FRER history length " << config_.historyLength
+                                        << " outside [1, 64]");
+  ETSN_CHECK_MSG(config_.resetTimeout >= 0, "negative FRER reset timeout");
+  ETSN_CHECK_MSG(config_.latentErrorPeriod >= 0,
+                 "negative FRER latent-error period");
+  historyMask_ = config_.historyLength == 64
+                     ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << config_.historyLength) - 1;
+  recovery_.resize(replication_.size());
+}
+
+bool FrerRelay::accept(const Frame& f, TimeNs now) {
+  ETSN_CHECK(f.specId >= 0 &&
+             static_cast<std::size_t>(f.specId) < recovery_.size());
+  Recovery& rec = recovery_[static_cast<std::size_t>(f.specId)];
+  const int k = replication_[static_cast<std::size_t>(f.specId)];
+  ETSN_CHECK_MSG(k > 1, "FRER relay fed an unprotected spec " << f.specId);
+
+  // Reset test: too long since anything passed -> forget the window.
+  if (!rec.takeAny && config_.resetTimeout > 0 &&
+      now - rec.lastPassed >= config_.resetTimeout) {
+    rec.takeAny = true;
+    rec.highSeq = -1;
+    rec.history = 0;
+    ++rec.resetsTotal;
+  }
+
+  // Latent-error test (arrival-driven: judged whenever a period has
+  // elapsed since the last check, so an idle stream raises no alarms).
+  if (config_.latentErrorPeriod > 0 &&
+      now - rec.lastLatentCheck >= config_.latentErrorPeriod) {
+    if (rec.lastLatentCheck > 0 || rec.passedSince + rec.discardedSince > 0) {
+      const std::int64_t diff =
+          static_cast<std::int64_t>(k - 1) * rec.passedSince -
+          rec.discardedSince;
+      if (std::llabs(diff) > config_.latentErrorThreshold &&
+          config_.onLatentError) {
+        config_.onLatentError(f.specId, now);
+      }
+    }
+    rec.passedSince = 0;
+    rec.discardedSince = 0;
+    rec.lastLatentCheck = now;
+  }
+
+  bool pass;
+  if (rec.takeAny) {
+    rec.takeAny = false;
+    rec.highSeq = f.seq;
+    rec.history = 0;
+    pass = true;
+  } else {
+    const std::int64_t delta = f.seq - rec.highSeq;
+    if (delta > 0) {
+      // Ahead of the window: advance it.  The old highSeq becomes bit
+      // delta-1; everything that shifts past historyLength is forgotten.
+      if (delta > 64) {
+        rec.history = 0;
+      } else if (delta == 64) {
+        rec.history = std::uint64_t{1} << 63;
+      } else {
+        rec.history =
+            (rec.history << delta) | (std::uint64_t{1} << (delta - 1));
+      }
+      rec.history &= historyMask_;
+      rec.highSeq = f.seq;
+      pass = true;
+    } else if (delta == 0) {
+      pass = false;  // duplicate of the newest passed frame
+    } else {
+      const std::int64_t d = -delta;
+      if (d > config_.historyLength) {
+        pass = false;  // behind the window: rogue / stale, eliminate
+      } else {
+        const std::uint64_t bit = std::uint64_t{1} << (d - 1);
+        pass = (rec.history & bit) == 0;
+        rec.history |= bit;
+      }
+    }
+  }
+
+  if (pass) {
+    ++rec.passedSince;
+    ++rec.passedTotal;
+    rec.lastPassed = now;
+  } else {
+    ++rec.discardedSince;
+    ++rec.discardedTotal;
+  }
+  return pass;
+}
+
+}  // namespace etsn::sim

@@ -1,0 +1,107 @@
+// 802.1CB Frame Replication and Elimination for Reliability (FRER).
+//
+// A protected stream travels as k member copies over link-disjoint paths.
+// The talker stamps every fragment with an R-TAG sequence number (one
+// counter per spec, incremented once per fragment — all member copies of a
+// fragment share the seq), and the merge point runs the standard's *vector
+// recovery* function per stream: a sliding window of historyLength recent
+// sequence numbers below the highest seen, tracked as a bitmask.  The
+// first copy of a sequence number passes; later copies are eliminated.
+//
+//  * highSeq is the highest sequence number passed or observed; history
+//    bit i covers seq == highSeq - 1 - i.
+//  * A frame ahead of the window advances it (old bits shift out); a frame
+//    inside the window passes once and is a duplicate afterwards; a frame
+//    behind the window is discarded as rogue (it cannot be distinguished
+//    from a replay).
+//  * If no frame passes for resetTimeout, the recovery state resets to
+//    "take any": the next arrival is accepted whatever its seq.  This is
+//    the standard's guard against a stalled talker resuming after the
+//    window has drifted arbitrarily far.
+//  * Latent-error detection (an optional arrival-driven check every
+//    latentErrorPeriod): on a healthy k-replicated stream each passed
+//    frame is accompanied by k-1 eliminated duplicates, so
+//    (k-1)*passed - discarded stays near zero.  A sustained imbalance
+//    means a member path is silently dead (or a component is duplicating
+//    frames) and raises the alarm callback — redundancy is still masking
+//    the fault, but the protection margin is gone.
+//
+// The relay is pure mechanism: fixed-size per-spec state, no allocation
+// per frame, no knowledge of the Recorder.  The Network routes a PASS to
+// delivery and a DISCARD to duplicate-elimination accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/frame.h"
+
+namespace etsn::sim {
+
+struct FrerConfig {
+  /// Recovery window size in sequence numbers (1..64 — the history fits
+  /// one machine word, which is also 802.1CB's RECOV_SEQ_SPACE sweet spot).
+  int historyLength = 32;
+  /// Reset to "take any" after this long without a passed frame
+  /// (0 = never reset).
+  TimeNs resetTimeout = milliseconds(100);
+  /// Latent-error detection interval (0 = detection off).
+  TimeNs latentErrorPeriod = 0;
+  /// Alarm when |(k-1)*passed - discarded| exceeds this within a period.
+  std::int64_t latentErrorThreshold = 4;
+  /// Raised (at most once per elapsed period per stream) by the latent
+  /// error test; may be empty.
+  std::function<void(std::int32_t specId, TimeNs at)> onLatentError;
+};
+
+class FrerRelay {
+ public:
+  /// `replication[spec]` is the member count per spec (1 = unprotected;
+  /// such specs must never reach accept()).
+  FrerRelay(FrerConfig config, std::vector<int> replication);
+
+  /// Judge one member copy arriving at the merge point.  True = first
+  /// copy of its sequence number (deliver), false = duplicate or rogue
+  /// (eliminate).  `now` must be non-decreasing per spec.
+  bool accept(const Frame& f, TimeNs now);
+
+  int replication(std::int32_t specId) const {
+    return replication_[static_cast<std::size_t>(specId)];
+  }
+
+  /// Cumulative per-spec tallies (for tests and post-run inspection).
+  std::int64_t passed(std::int32_t specId) const {
+    return recovery_[static_cast<std::size_t>(specId)].passedTotal;
+  }
+  std::int64_t discarded(std::int32_t specId) const {
+    return recovery_[static_cast<std::size_t>(specId)].discardedTotal;
+  }
+  std::int64_t resets(std::int32_t specId) const {
+    return recovery_[static_cast<std::size_t>(specId)].resetsTotal;
+  }
+
+ private:
+  struct Recovery {
+    std::int64_t highSeq = -1;
+    std::uint64_t history = 0;  // bit i <-> seq == highSeq - 1 - i
+    bool takeAny = true;
+    TimeNs lastPassed = 0;
+    // Latent-error bookkeeping (since the last elapsed period).
+    std::int64_t passedSince = 0;
+    std::int64_t discardedSince = 0;
+    TimeNs lastLatentCheck = 0;
+    // Lifetime tallies.
+    std::int64_t passedTotal = 0;
+    std::int64_t discardedTotal = 0;
+    std::int64_t resetsTotal = 0;
+  };
+
+  FrerConfig config_;
+  std::uint64_t historyMask_ = 0;
+  std::vector<int> replication_;
+  std::vector<Recovery> recovery_;  // per spec
+};
+
+}  // namespace etsn::sim

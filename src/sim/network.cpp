@@ -132,14 +132,50 @@ Network::Network(const net::Topology& topo,
   }
 
   nextInstanceId_.assign(static_cast<std::size_t>(numSpecs), 0);
-  routes_.assign(static_cast<std::size_t>(numSpecs), nullptr);
+  nextSeq_.assign(static_cast<std::size_t>(numSpecs), 0);
+  memberRoutes_.assign(static_cast<std::size_t>(numSpecs), {});
   for (const auto& t : program_.talkers) {
     recorder_->setDeadline(t.specId, t.maxLatency);
-    routes_[static_cast<std::size_t>(t.specId)] = &t.route;
+    auto& routes = memberRoutes_[static_cast<std::size_t>(t.specId)];
+    if (t.members.empty()) {
+      routes.push_back(&t.route);  // hand-built program without members
+    } else {
+      for (const sched::TalkerMember& m : t.members) {
+        routes.push_back(&m.route);
+      }
+    }
   }
   for (const auto& e : program_.ectSources) {
     recorder_->setDeadline(e.specId, e.maxLatency);
-    routes_[static_cast<std::size_t>(e.specId)] = &e.route;
+    auto& routes = memberRoutes_[static_cast<std::size_t>(e.specId)];
+    if (e.memberRoutes.empty()) {
+      routes.push_back(&e.route);
+    } else {
+      for (const auto& r : e.memberRoutes) routes.push_back(&r);
+    }
+  }
+
+  // 802.1CB merge relay: built only when some spec actually carries more
+  // than one member, so unprotected runs stay bit-identical to pre-FRER
+  // builds (no relay state, no extra branches taken).
+  std::vector<int> replication(static_cast<std::size_t>(numSpecs), 1);
+  bool anyProtected = false;
+  for (std::size_t i = 0; i < replication.size(); ++i) {
+    if (memberRoutes_[i].size() > 1) {
+      replication[i] = static_cast<int>(memberRoutes_[i].size());
+      recorder_->setReplication(static_cast<std::int32_t>(i), replication[i]);
+      anyProtected = true;
+    }
+  }
+  if (anyProtected) {
+    FrerConfig fc = config_.frer;
+    auto userAlarm = std::move(fc.onLatentError);
+    fc.onLatentError = [this, userAlarm = std::move(userAlarm)](
+                           std::int32_t specId, TimeNs at) {
+      recorder_->onFrerLatentAlarm(specId);
+      if (userAlarm) userAlarm(specId, at);
+    };
+    relay_ = std::make_unique<FrerRelay>(std::move(fc), std::move(replication));
   }
 }
 
@@ -165,34 +201,43 @@ void Network::onTxComplete(net::LinkId link, const Frame& f, TimeNs txEnd) {
 }
 
 void Network::emitMessage(std::int32_t specId, const std::vector<int>& payloads,
-                          int priority, const std::vector<net::LinkId>& route) {
-  ETSN_CHECK(!route.empty());
+                          int priority) {
+  const auto& routes = memberRoutes_[static_cast<std::size_t>(specId)];
+  ETSN_CHECK(!routes.empty() && !routes[0]->empty());
   const std::int64_t instance =
       nextInstanceId_[static_cast<std::size_t>(specId)]++;
   recorder_->onMessageCreated(specId, instance,
                               static_cast<int>(payloads.size()));
   const TimeNs created = sim_.now();
   for (std::size_t i = 0; i < payloads.size(); ++i) {
-    Frame f;
-    f.specId = specId;
-    f.instanceId = instance;
-    f.fragIndex = static_cast<int>(i);
-    f.fragCount = static_cast<int>(payloads.size());
-    f.payloadBytes = payloads[i];
-    f.priority = priority;
-    f.created = created;
-    f.hop = 0;
-    ports_[static_cast<std::size_t>(route[0])]->enqueueHandle(
-        sim_.frames().alloc(f));
+    // One R-TAG sequence number per fragment, shared by all member copies
+    // (the replication point of 802.1CB).
+    const std::int64_t seq = nextSeq_[static_cast<std::size_t>(specId)]++;
+    for (std::size_t m = 0; m < routes.size(); ++m) {
+      Frame f;
+      f.specId = specId;
+      f.instanceId = instance;
+      f.fragIndex = static_cast<int>(i);
+      f.fragCount = static_cast<int>(payloads.size());
+      f.payloadBytes = payloads[i];
+      f.priority = priority;
+      f.created = created;
+      f.hop = 0;
+      f.member = static_cast<std::int32_t>(m);
+      f.seq = seq;
+      ports_[static_cast<std::size_t>((*routes[m])[0])]->enqueueHandle(
+          sim_.frames().alloc(f));
+    }
   }
 }
 
 void Network::onFrameReceived(FrameHandle h, net::LinkId link) {
   Frame& f = sim_.frames()[h];
-  const std::vector<net::LinkId>* route =
-      routes_[static_cast<std::size_t>(f.specId)];
-  ETSN_CHECK_MSG(route != nullptr, "frame for unknown spec");
-  ETSN_CHECK((*route)[static_cast<std::size_t>(f.hop)] == link);
+  const auto& routes = memberRoutes_[static_cast<std::size_t>(f.specId)];
+  ETSN_CHECK_MSG(!routes.empty(), "frame for unknown spec");
+  const std::vector<net::LinkId>& route =
+      *routes[static_cast<std::size_t>(f.member)];
+  ETSN_CHECK(route[static_cast<std::size_t>(f.hop)] == link);
 
   // PSFP ingress check at the network edge only: past the first switch the
   // traffic is shaped by the switches' own gates, so edge conformance is
@@ -207,15 +252,27 @@ void Network::onFrameReceived(FrameHandle h, net::LinkId link) {
     }
   }
 
-  if (static_cast<std::size_t>(f.hop) + 1 == route->size()) {
-    recorder_->onFrameDelivered(f, sim_.now());
+  if (static_cast<std::size_t>(f.hop) + 1 == route.size()) {
+    // Merge point: the sequence-recovery function passes the first copy
+    // of each R-TAG seq and eliminates the rest.  Elimination order is
+    // deterministic — the kernel pops same-time events in (class, seq)
+    // order, so "first arrival" is well-defined even for ties.
+    if (relay_ != nullptr && routes.size() > 1) {
+      if (relay_->accept(f, sim_.now())) {
+        recorder_->onFrameDelivered(f, sim_.now());
+      } else {
+        recorder_->onDuplicateEliminated(f);
+      }
+    } else {
+      recorder_->onFrameDelivered(f, sim_.now());
+    }
     sim_.frames().free(h);
     return;
   }
   // Forward: store-and-forward processing, then enqueue on the next hop.
   // The frame mutates in place in the arena; only the handle travels.
   f.hop += 1;
-  const net::LinkId next = (*route)[static_cast<std::size_t>(f.hop)];
+  const net::LinkId next = route[static_cast<std::size_t>(f.hop)];
   sim_.postAfter(program_.switchProcessingDelay, EventClass::Enqueue, fwdTag_,
                  next, h);
 }
@@ -240,26 +297,38 @@ void Network::fireTalker(std::size_t index, std::int64_t instance) {
   recorder_->onMessageCreated(t.specId, msgInstance,
                               static_cast<int>(t.framePayloads.size()));
   const TimeNs created = sim_.now();
-  const Clock& clk =
-      clocks_[static_cast<std::size_t>(topo_.link(t.route[0]).from)];
+  // The talker wakes at the earliest member's release; each member copy is
+  // then paced to its own first-link slots (the replication point of
+  // 802.1CB sits in the end station, before the pacing queues).
+  const std::size_t k = t.members.empty() ? 1 : t.members.size();
   for (std::size_t j = 0; j < t.framePayloads.size(); ++j) {
-    Frame f;
-    f.specId = t.specId;
-    f.instanceId = msgInstance;
-    f.fragIndex = static_cast<int>(j);
-    f.fragCount = static_cast<int>(t.framePayloads.size());
-    f.payloadBytes = t.framePayloads[j];
-    f.priority = t.priority;
-    f.created = created;
-    f.hop = 0;
-    const TimeNs fireAt = std::max(
-        clk.globalTimeFor(t.frameOffsets[j] + instance * t.period),
-        sim_.now());
-    const FrameHandle h = sim_.frames().alloc(f);
-    if (fireAt <= sim_.now()) {
-      ports_[static_cast<std::size_t>(t.route[0])]->enqueueHandle(h);
-    } else {
-      sim_.post(fireAt, EventClass::Enqueue, talkerFrameTag_, t.route[0], h);
+    const std::int64_t seq = nextSeq_[static_cast<std::size_t>(t.specId)]++;
+    for (std::size_t m = 0; m < k; ++m) {
+      const std::vector<net::LinkId>& route =
+          t.members.empty() ? t.route : t.members[m].route;
+      const TimeNs frameOffset =
+          t.members.empty() ? t.frameOffsets[j] : t.members[m].frameOffsets[j];
+      const Clock& clk =
+          clocks_[static_cast<std::size_t>(topo_.link(route[0]).from)];
+      Frame f;
+      f.specId = t.specId;
+      f.instanceId = msgInstance;
+      f.fragIndex = static_cast<int>(j);
+      f.fragCount = static_cast<int>(t.framePayloads.size());
+      f.payloadBytes = t.framePayloads[j];
+      f.priority = t.priority;
+      f.created = created;
+      f.hop = 0;
+      f.member = static_cast<std::int32_t>(m);
+      f.seq = seq;
+      const TimeNs fireAt = std::max(
+          clk.globalTimeFor(frameOffset + instance * t.period), sim_.now());
+      const FrameHandle h = sim_.frames().alloc(f);
+      if (fireAt <= sim_.now()) {
+        ports_[static_cast<std::size_t>(route[0])]->enqueueHandle(h);
+      } else {
+        sim_.post(fireAt, EventClass::Enqueue, talkerFrameTag_, route[0], h);
+      }
     }
   }
   scheduleTalkerInstance(index, instance + 1);
@@ -285,7 +354,7 @@ void Network::scheduleNextEvent(std::size_t index, TimeNs after) {
 
 void Network::fireEctSource(std::size_t index, TimeNs at) {
   const sched::EctSourceConfig& src = program_.ectSources[index];
-  emitMessage(src.specId, src.framePayloads, src.priority, src.route);
+  emitMessage(src.specId, src.framePayloads, src.priority);
   scheduleNextEvent(index, at);
 }
 
@@ -330,7 +399,7 @@ void Network::fireBabble(std::size_t index, TimeNs at) {
   const BabblingSource& b = config_.faults.babblers[index];
   const sched::EctSourceConfig& src =
       program_.ectSources[static_cast<std::size_t>(b.ectIndex)];
-  emitMessage(src.specId, src.framePayloads, src.priority, src.route);
+  emitMessage(src.specId, src.framePayloads, src.priority);
   scheduleBabble(index, at + b.interval);
 }
 

@@ -14,6 +14,7 @@
 #include "sched/program.h"
 #include "sim/clock.h"
 #include "sim/faults.h"
+#include "sim/frer.h"
 #include "sim/kernel.h"
 #include "sim/police.h"
 #include "sim/port.h"
@@ -54,6 +55,10 @@ struct SimConfig {
   /// 802.1Qci ingress policing (see sim/police.h).  Disabled by default;
   /// when enabled, frames are judged on arrival at their first switch.
   PolicingConfig police;
+  /// 802.1CB sequence-recovery parameters (see sim/frer.h).  Active only
+  /// for specs scheduled with redundancy > 1 — unprotected runs never
+  /// build the relay, keeping them bit-identical to pre-FRER builds.
+  FrerConfig frer;
   /// Per-queue egress capacity in frames; 0 (the default) keeps today's
   /// unbounded queues bit-for-bit.
   int queueCapacity = 0;
@@ -81,6 +86,8 @@ class Network {
   const FaultInjector* faultInjector() const { return faults_.get(); }
   /// Null unless SimConfig::police.enabled.
   const IngressPolicer* policer() const { return policer_.get(); }
+  /// Null unless some stream is FRER-protected (redundancy > 1).
+  const FrerRelay* frerRelay() const { return relay_.get(); }
 
  private:
   void startTalker(std::size_t index);
@@ -93,7 +100,7 @@ class Network {
   void scheduleBabble(std::size_t index, TimeNs at);
   void fireBabble(std::size_t index, TimeNs at);
   void emitMessage(std::int32_t specId, const std::vector<int>& payloads,
-                   int priority, const std::vector<net::LinkId>& route);
+                   int priority);
   void onFrameReceived(FrameHandle h, net::LinkId link);
   void onTxComplete(net::LinkId link, const Frame& f, TimeNs txEnd);
   void startPtp();
@@ -106,12 +113,15 @@ class Network {
   Rng rng_;
   std::unique_ptr<FaultInjector> faults_;  // null on fault-free runs
   std::unique_ptr<IngressPolicer> policer_;  // null unless policing enabled
+  std::unique_ptr<FrerRelay> relay_;  // null unless some spec is protected
   std::vector<Clock> clocks_;  // per node
   std::vector<std::unique_ptr<EgressPort>> ports_;  // per directed link
   std::unique_ptr<Recorder> recorder_;
   std::vector<std::int64_t> nextInstanceId_;  // per spec
+  std::vector<std::int64_t> nextSeq_;         // per spec (R-TAG counter)
   std::vector<Rng> ectRngs_;                  // per ECT source
-  std::vector<const std::vector<net::LinkId>*> routes_;  // per spec
+  /// Route per (spec, FRER member); size 1 for unprotected specs.
+  std::vector<std::vector<const std::vector<net::LinkId>*>> memberRoutes_;
 
   // Typed-event jump-table tags (registered once at construction; event
   // records carry (tag, link-or-index, frame-handle-or-time) instead of

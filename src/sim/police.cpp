@@ -7,17 +7,23 @@
 namespace etsn::sim {
 
 IngressPolicer::IngressPolicer(PolicingConfig config)
-    : config_(std::move(config)),
-      states_(config_.filters.filters.size()) {
+    : config_(std::move(config)) {
   ETSN_CHECK_MSG(!config_.blockOnViolation || config_.quietPeriod > 0,
                  "fail-silent blocking needs a positive quiet period");
-  for (std::size_t i = 0; i < states_.size(); ++i) {
-    const net::StreamFilter& f = config_.filters.filters[i];
-    if (f.kind == net::StreamFilter::Kind::Meter) {
-      ETSN_CHECK_MSG(f.meter.interval > 0 && f.meter.tokensPerInterval > 0 &&
-                         f.meter.bucketCapacity > 0,
-                     "degenerate meter for spec " << f.specId);
-      states_[i].tokens = f.meter.bucketCapacity;  // start full
+  stateOffset_.reserve(config_.filters.filters.size());
+  for (const net::StreamFilter& f : config_.filters.filters) {
+    ETSN_CHECK_MSG(f.members >= 1, "filter with no members for spec "
+                                       << f.specId);
+    stateOffset_.push_back(states_.size());
+    for (int m = 0; m < f.members; ++m) {
+      StreamState s;
+      if (f.kind == net::StreamFilter::Kind::Meter) {
+        ETSN_CHECK_MSG(f.meter.interval > 0 && f.meter.tokensPerInterval > 0 &&
+                           f.meter.bucketCapacity > 0,
+                       "degenerate meter for spec " << f.specId);
+        s.tokens = f.meter.bucketCapacity;  // start full
+      }
+      states_.push_back(s);
     }
   }
 }
@@ -42,7 +48,11 @@ IngressPolicer::Decision IngressPolicer::admit(const Frame& f, TimeNs now) {
   if (filter == nullptr || filter->kind == net::StreamFilter::Kind::None) {
     return d;  // unpoliced stream
   }
-  StreamState& s = states_[static_cast<std::size_t>(f.specId)];
+  ETSN_CHECK_MSG(f.member >= 0 && f.member < filter->members,
+                 "frame member " << f.member << " outside spec "
+                                 << f.specId << "'s filter");
+  StreamState& s = states_[stateOffset_[static_cast<std::size_t>(f.specId)] +
+                           static_cast<std::size_t>(f.member)];
 
   if (s.blocked) {
     if (now - s.quietSince < config_.quietPeriod) {
@@ -65,7 +75,7 @@ IngressPolicer::Decision IngressPolicer::admit(const Frame& f, TimeNs now) {
 
   bool conformant = true;
   if (filter->kind == net::StreamFilter::Kind::Gate) {
-    conformant = filter->gate.conforms(now);
+    conformant = filter->gateFor(f.member).conforms(now);
   } else {
     refillMeter(filter->meter, s, now);
     if (s.tokens > 0) {
@@ -88,11 +98,18 @@ IngressPolicer::Decision IngressPolicer::admit(const Frame& f, TimeNs now) {
 }
 
 bool IngressPolicer::isBlocked(std::int32_t specId, TimeNs now) const {
-  if (specId < 0 || static_cast<std::size_t>(specId) >= states_.size()) {
+  if (specId < 0 ||
+      static_cast<std::size_t>(specId) >= stateOffset_.size()) {
     return false;
   }
-  const StreamState& s = states_[static_cast<std::size_t>(specId)];
-  return s.blocked && now - s.quietSince < config_.quietPeriod;
+  const net::StreamFilter& f =
+      config_.filters.filters[static_cast<std::size_t>(specId)];
+  const std::size_t base = stateOffset_[static_cast<std::size_t>(specId)];
+  for (int m = 0; m < f.members; ++m) {
+    const StreamState& s = states_[base + static_cast<std::size_t>(m)];
+    if (s.blocked && now - s.quietSince < config_.quietPeriod) return true;
+  }
+  return false;
 }
 
 }  // namespace etsn::sim

@@ -57,9 +57,12 @@ class IngressPolicer {
 
   /// Judge a frame arriving at its first switch at simulation time `now`.
   /// `now` must be monotonically non-decreasing across calls per stream.
+  /// FRER member copies (f.member) are judged against their own member
+  /// gate and their own meter/blocking state.
   Decision admit(const Frame& f, TimeNs now);
 
-  /// Whether the stream is currently fail-silent (quiet period pending).
+  /// Whether any member of the stream is currently fail-silent (quiet
+  /// period pending).
   bool isBlocked(std::int32_t specId, TimeNs now) const;
 
   const PolicingConfig& config() const { return config_; }
@@ -78,7 +81,10 @@ class IngressPolicer {
   void refillMeter(const net::MeterFilter& m, StreamState& s, TimeNs now);
 
   PolicingConfig config_;
+  /// One runtime state per (spec, FRER member), flattened member-major;
+  /// stateOffset_[spec] indexes the spec's member 0.
   std::vector<StreamState> states_;
+  std::vector<std::size_t> stateOffset_;
 };
 
 }  // namespace etsn::sim

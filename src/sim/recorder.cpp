@@ -13,22 +13,63 @@ void Recorder::onMessageCreated(std::int32_t specId, std::int64_t instanceId,
   ETSN_CHECK(expectedFrames > 0);
   StreamRecord& r = records_[static_cast<std::size_t>(specId)];
   ++r.messagesSent;
-  r.framesEmitted += expectedFrames;
+  const int k = r.replication;
+  r.framesEmitted += static_cast<std::int64_t>(expectedFrames) * k;
+  r.framesReplicated += static_cast<std::int64_t>(expectedFrames) * (k - 1);
   Pending& p = pending_.upsert(specId, instanceId);
   ETSN_CHECK_MSG(p.expected == 0, "duplicate message instance");
   p.expected = expectedFrames;
+  if (k > 1) {
+    for (int frag = 0; frag < expectedFrames; ++frag) {
+      FragState& fs = frags_.upsert(specId, instanceId, frag);
+      ETSN_CHECK_MSG(fs.outstanding == 0, "duplicate fragment entry");
+      fs.outstanding = k;
+    }
+  }
+}
+
+void Recorder::recordFragmentLoss(std::int32_t specId, std::int64_t instanceId,
+                                  StreamRecord& r) {
+  Pending* pp = pending_.find(specId, instanceId);
+  ETSN_CHECK_MSG(pp != nullptr, "loss for unknown instance");
+  Pending& p = *pp;
+  if (p.dropped == 0) ++r.messagesLost;  // can never complete now
+  ++p.dropped;
+  if (p.received + p.dropped == p.expected) {
+    pending_.erase(specId, instanceId);
+  }
 }
 
 void Recorder::onFrameDelivered(const Frame& f, TimeNs deliveredAt) {
   ETSN_CHECK(f.specId >= 0 &&
              static_cast<std::size_t>(f.specId) < records_.size());
+  StreamRecord& r = records_[static_cast<std::size_t>(f.specId)];
+  if (r.replication > 1) {
+    FragState* fs = frags_.find(f.specId, f.instanceId, f.fragIndex);
+    ETSN_CHECK_MSG(fs != nullptr, "delivery for unknown fragment");
+    --fs->outstanding;
+    if (fs->delivered) {
+      // A relay reset let a late copy pass after the fragment already
+      // completed: file it with the eliminated duplicates so every copy
+      // lands in exactly one closure bucket.
+      ++r.duplicatesEliminated;
+      if (fs->outstanding == 0) {
+        frags_.erase(f.specId, f.instanceId, f.fragIndex);
+      }
+      return;
+    }
+    fs->delivered = true;
+    if (fs->drops > 0) ++r.recoveredByRedundancy;
+    if (fs->outstanding == 0) {
+      frags_.erase(f.specId, f.instanceId, f.fragIndex);
+    }
+  }
   Pending* pp = pending_.find(f.specId, f.instanceId);
   ETSN_CHECK_MSG(pp != nullptr, "delivery for unknown instance");
   Pending& p = *pp;
   ++p.received;
   p.lastArrival = std::max(p.lastArrival, deliveredAt);
 
-  StreamRecord& r = records_[static_cast<std::size_t>(f.specId)];
   ++r.framesDelivered;
   if (p.received + p.dropped < p.expected) return;
 
@@ -38,8 +79,8 @@ void Recorder::onFrameDelivered(const Frame& f, TimeNs deliveredAt) {
     ++r.messagesDelivered;
     if (r.deadline > 0 && latency > r.deadline) ++r.deadlineMisses;
   }
-  // All frames accounted for (a message with drops was already counted
-  // in messagesLost at its first drop).
+  // All fragments accounted for (a message with losses was already counted
+  // in messagesLost at its first lost fragment).
   pending_.erase(f.specId, f.instanceId);
 }
 
@@ -61,14 +102,50 @@ void Recorder::onFrameDropped(const Frame& f, DropCause cause) {
       ++r.framesDroppedLoss;
       break;
   }
-  Pending* pp = pending_.find(f.specId, f.instanceId);
-  ETSN_CHECK_MSG(pp != nullptr, "drop for unknown instance");
-  Pending& p = *pp;
-  if (p.dropped == 0) ++r.messagesLost;  // can never complete now
-  ++p.dropped;
-  if (p.received + p.dropped == p.expected) {
-    pending_.erase(f.specId, f.instanceId);
+  if (r.replication > 1) {
+    FragState* fs = frags_.find(f.specId, f.instanceId, f.fragIndex);
+    ETSN_CHECK_MSG(fs != nullptr, "drop for unknown fragment");
+    --fs->outstanding;
+    ++fs->drops;
+    // A fragment counts as recovered the first moment it is both delivered
+    // and short a copy — whichever event comes second.  (The other order,
+    // drop before delivery, is counted in onFrameDelivered.)
+    if (fs->delivered && fs->drops == 1) ++r.recoveredByRedundancy;
+    const bool fragLost = !fs->delivered && fs->outstanding == 0;
+    if (fs->outstanding == 0) {
+      frags_.erase(f.specId, f.instanceId, f.fragIndex);
+    }
+    if (!fragLost) return;  // redundancy covers (or covered) this fragment
+    recordFragmentLoss(f.specId, f.instanceId, r);
+    return;
   }
+  recordFragmentLoss(f.specId, f.instanceId, r);
+}
+
+void Recorder::onDuplicateEliminated(const Frame& f) {
+  ETSN_CHECK(f.specId >= 0 &&
+             static_cast<std::size_t>(f.specId) < records_.size());
+  StreamRecord& r = records_[static_cast<std::size_t>(f.specId)];
+  ETSN_CHECK_MSG(r.replication > 1, "elimination on unprotected stream");
+  ++r.duplicatesEliminated;
+  FragState* fs = frags_.find(f.specId, f.instanceId, f.fragIndex);
+  ETSN_CHECK_MSG(fs != nullptr, "elimination for unknown fragment");
+  --fs->outstanding;
+  const bool fragLost = !fs->delivered && fs->outstanding == 0;
+  if (fs->outstanding == 0) {
+    frags_.erase(f.specId, f.instanceId, f.fragIndex);
+  }
+  if (!fragLost) return;
+  // Rogue elimination of a never-delivered fragment: the copy fell behind
+  // the recovery window while every sibling died.  Rare, but it must
+  // close as a loss at message level.
+  recordFragmentLoss(f.specId, f.instanceId, r);
+}
+
+void Recorder::onFrerLatentAlarm(std::int32_t specId) {
+  ETSN_CHECK(specId >= 0 &&
+             static_cast<std::size_t>(specId) < records_.size());
+  ++records_[static_cast<std::size_t>(specId)].frerLatentAlarms;
 }
 
 void Recorder::onPolicerViolation(std::int32_t specId) {
@@ -86,10 +163,18 @@ void Recorder::onPolicerBlockStart(std::int32_t specId) {
 void Recorder::finalize() {
   ETSN_CHECK_MSG(!finalized_, "Recorder::finalize called twice");
   finalized_ = true;
-  pending_.forEach([this](std::int32_t spec, std::int64_t, const Pending& p) {
+  pending_.forEach([this](std::int32_t spec, std::int64_t, std::int32_t,
+                          const Pending& p) {
     StreamRecord& r = records_[static_cast<std::size_t>(spec)];
     if (p.dropped == 0) ++r.messagesUnterminated;  // else already lost
-    r.framesInFlight += p.expected - p.received - p.dropped;
+    if (r.replication == 1) {
+      r.framesInFlight += p.expected - p.received - p.dropped;
+    }
+    // Protected specs count copies, not fragments — from the tracker below.
+  });
+  frags_.forEach([this](std::int32_t spec, std::int64_t, std::int32_t,
+                        const FragState& fs) {
+    records_[static_cast<std::size_t>(spec)].framesInFlight += fs.outstanding;
   });
 }
 

@@ -6,12 +6,21 @@
 // simulator nanoseconds, exceeding the testbed's 10 ns accuracy.
 //
 // With the fault layer active the recorder also closes the loss books:
-// every emitted frame ends up delivered, dropped (attributed to random
-// loss, burst loss, or a link outage) or — after finalize() — in flight
+// every emitted frame copy ends up delivered, dropped (attributed to
+// random loss, burst loss, a link outage, the policer, or a full queue),
+// eliminated as an 802.1CB duplicate, or — after finalize() — in flight
 // at the end of the run, so
-//   framesEmitted == framesDelivered + framesDropped* + framesInFlight
+//   framesEmitted == framesDelivered + framesDropped*
+//                    + duplicatesEliminated + framesInFlight
 // holds exactly, and at message level
 //   messagesSent == messagesDelivered + messagesLost + messagesUnterminated.
+//
+// FRER-protected streams (replication k > 1) emit k member copies per
+// fragment.  The recorder tracks each fragment's copies: the first copy
+// the merge relay passes delivers the fragment (and counts as recovered
+// if a sibling copy had already died); every other copy is an eliminated
+// duplicate.  A fragment — and hence its message — is lost only when all
+// k copies terminate without a delivery.
 #pragma once
 
 #include <cstdint>
@@ -32,12 +41,13 @@ struct alignas(64) StreamRecord {
   std::int64_t messagesDelivered = 0;
   std::int64_t deadlineMisses = 0;
   TimeNs deadline = 0;  // 0 = no deadline accounting
+  int replication = 1;  // 802.1CB member copies per fragment
 
   // Survivability accounting (fault layer).
-  std::int64_t messagesLost = 0;          // >= 1 frame dropped
+  std::int64_t messagesLost = 0;          // >= 1 fragment unrecoverably lost
   std::int64_t messagesUnterminated = 0;  // in flight at run end (finalize)
-  std::int64_t framesEmitted = 0;
-  std::int64_t framesDelivered = 0;
+  std::int64_t framesEmitted = 0;          // member copies, not fragments
+  std::int64_t framesDelivered = 0;        // first passed copy per fragment
   std::int64_t framesDroppedLoss = 0;      // RandomLoss + BurstLoss
   std::int64_t framesDroppedOutage = 0;    // LinkDown
   std::int64_t framesDroppedPolicer = 0;   // Policer (ingress filtering)
@@ -47,6 +57,12 @@ struct alignas(64) StreamRecord {
   // Ingress policing (802.1Qci layer).
   std::int64_t policerViolations = 0;  // non-conformant frames observed
   std::int64_t blockedIntervals = 0;   // fail-silent block episodes entered
+
+  // Frame replication and elimination (802.1CB layer).
+  std::int64_t framesReplicated = 0;       // extra copies: frags * (k - 1)
+  std::int64_t duplicatesEliminated = 0;   // relay discards (+ late passes)
+  std::int64_t recoveredByRedundancy = 0;  // frags delivered despite a dead copy
+  std::int64_t frerLatentAlarms = 0;       // latent-error detections raised
 
   /// Fraction of sent messages fully delivered (1.0 with nothing sent).
   double deliveryRatio() const {
@@ -64,16 +80,32 @@ class Recorder {
     records_[static_cast<std::size_t>(specId)].deadline = deadline;
   }
 
-  /// A message instance of `expectedFrames` frames enters the network.
+  /// Declare the stream FRER-protected with k member copies per fragment.
+  /// Must be set before the first onMessageCreated for the spec.
+  void setReplication(std::int32_t specId, int k) {
+    ETSN_CHECK(k >= 1);
+    records_[static_cast<std::size_t>(specId)].replication = k;
+  }
+
+  /// A message instance of `expectedFrames` fragments enters the network
+  /// (each fragment as `replication` member copies).
   void onMessageCreated(std::int32_t specId, std::int64_t instanceId,
                         int expectedFrames);
 
-  /// A frame fully received at its destination.
+  /// A frame copy fully received at its destination (for protected
+  /// streams: passed by the merge relay).
   void onFrameDelivered(const Frame& f, TimeNs deliveredAt);
 
-  /// A frame killed by the fault layer, the ingress policer, or a full
-  /// egress queue (loss attribution).
+  /// A frame copy killed by the fault layer, the ingress policer, or a
+  /// full egress queue (loss attribution).
   void onFrameDropped(const Frame& f, DropCause cause);
+
+  /// A member copy eliminated at the 802.1CB merge point (its fragment's
+  /// sequence number had already passed, or fell behind the window).
+  void onDuplicateEliminated(const Frame& f);
+
+  /// The FRER latent-error test fired for the stream.
+  void onFrerLatentAlarm(std::int32_t specId);
 
   /// A non-conformant frame observed by the ingress policer (counted in
   /// addition to its Policer drop).
@@ -84,7 +116,7 @@ class Recorder {
 
   /// Close the books at the end of the run: instances still pending are
   /// counted as unterminated (message level, unless already lost) and
-  /// their outstanding frames as in flight.  Call exactly once.
+  /// their outstanding frame copies as in flight.  Call exactly once.
   void finalize();
 
   const StreamRecord& record(std::int32_t specId) const {
@@ -101,39 +133,51 @@ class Recorder {
  private:
   struct Pending {
     int expected = 0;
-    int received = 0;
-    int dropped = 0;
+    int received = 0;  // fragments delivered (first passed copy each)
+    int dropped = 0;   // fragments unrecoverably lost
     TimeNs lastArrival = 0;
   };
 
-  /// Open-addressing hash over (specId, instanceId) with linear probing and
-  /// backward-shift deletion (no tombstones — the table sees one erase per
-  /// completed message, so tombstone buildup would dominate).  Replaces
-  /// std::map: lookups touch one or two cache lines and inserts allocate
-  /// only on growth, keeping the per-frame bookkeeping off the heap.
-  class PendingMap {
+  /// Per-fragment copy tracker for protected streams: how many member
+  /// copies are still live, whether one already delivered the fragment,
+  /// and how many died on the way.
+  struct FragState {
+    int outstanding = 0;
+    int drops = 0;
+    bool delivered = false;
+  };
+
+  /// Open-addressing hash over (specId, instanceId, fragIndex) with linear
+  /// probing and backward-shift deletion (no tombstones — the table sees
+  /// one erase per completed entry, so tombstone buildup would dominate).
+  /// Replaces std::map: lookups touch one or two cache lines and inserts
+  /// allocate only on growth, keeping the per-frame bookkeeping off the
+  /// heap.  Message instances key with frag == 0; the FRER copy tracker
+  /// keys per fragment.
+  template <typename V>
+  class OpenMap {
    public:
     std::size_t size() const { return size_; }
 
     /// Insert-if-absent; returns the (possibly fresh, zeroed) value.
-    Pending& upsert(std::int32_t spec, std::int64_t inst) {
+    V& upsert(std::int32_t spec, std::int64_t inst, std::int32_t frag = 0) {
       if ((size_ + 1) * 4 >= slots_.size() * 3) grow();
-      std::size_t i = probe(spec, inst);
+      std::size_t i = probe(spec, inst, frag);
       if (!slots_[i].used) {
-        slots_[i] = Slot{spec, inst, Pending{}, true};
+        slots_[i] = Slot{spec, inst, frag, V{}, true};
         ++size_;
       }
       return slots_[i].value;
     }
 
     /// Null when the key is absent.
-    Pending* find(std::int32_t spec, std::int64_t inst) {
-      const std::size_t i = probe(spec, inst);
+    V* find(std::int32_t spec, std::int64_t inst, std::int32_t frag = 0) {
+      const std::size_t i = probe(spec, inst, frag);
       return slots_[i].used ? &slots_[i].value : nullptr;
     }
 
-    void erase(std::int32_t spec, std::int64_t inst) {
-      std::size_t i = probe(spec, inst);
+    void erase(std::int32_t spec, std::int64_t inst, std::int32_t frag = 0) {
+      std::size_t i = probe(spec, inst, frag);
       ETSN_CHECK(slots_[i].used);
       const std::size_t mask = slots_.size() - 1;
       // Backward-shift: pull every displaced follower of the probe chain
@@ -141,7 +185,8 @@ class Recorder {
       std::size_t hole = i;
       for (std::size_t j = (i + 1) & mask; slots_[j].used;
            j = (j + 1) & mask) {
-        const std::size_t home = indexFor(slots_[j].spec, slots_[j].inst);
+        const std::size_t home =
+            indexFor(slots_[j].spec, slots_[j].inst, slots_[j].frag);
         // j's key may move to `hole` only if its home precedes or equals
         // the hole along the (wrapping) probe order.
         const bool movable = ((j - home) & mask) >= ((j - hole) & mask);
@@ -157,7 +202,7 @@ class Recorder {
     template <typename Fn>
     void forEach(Fn&& fn) const {
       for (const Slot& s : slots_) {
-        if (s.used) fn(s.spec, s.inst, s.value);
+        if (s.used) fn(s.spec, s.inst, s.frag, s.value);
       }
     }
 
@@ -165,16 +210,20 @@ class Recorder {
     struct Slot {
       std::int32_t spec = 0;
       std::int64_t inst = 0;
-      Pending value;
+      std::int32_t frag = 0;
+      V value;
       bool used = false;
     };
 
-    static std::uint64_t hash(std::int32_t spec, std::int64_t inst) {
+    static std::uint64_t hash(std::int32_t spec, std::int64_t inst,
+                              std::int32_t frag) {
       // splitmix64 finalizer over the combined key.
       std::uint64_t x = (static_cast<std::uint64_t>(
                              static_cast<std::uint32_t>(spec))
                          << 48) ^
                         static_cast<std::uint64_t>(inst);
+      x += static_cast<std::uint64_t>(static_cast<std::uint32_t>(frag)) *
+           0x9e3779b97f4a7c15ULL;
       x ^= x >> 30;
       x *= 0xbf58476d1ce4e5b9ULL;
       x ^= x >> 27;
@@ -183,17 +232,20 @@ class Recorder {
       return x;
     }
 
-    std::size_t indexFor(std::int32_t spec, std::int64_t inst) const {
-      return static_cast<std::size_t>(hash(spec, inst)) &
+    std::size_t indexFor(std::int32_t spec, std::int64_t inst,
+                         std::int32_t frag) const {
+      return static_cast<std::size_t>(hash(spec, inst, frag)) &
              (slots_.size() - 1);
     }
 
     /// First slot that holds the key or is free, in probe order.
-    std::size_t probe(std::int32_t spec, std::int64_t inst) const {
+    std::size_t probe(std::int32_t spec, std::int64_t inst,
+                      std::int32_t frag) const {
       const std::size_t mask = slots_.size() - 1;
-      std::size_t i = indexFor(spec, inst);
+      std::size_t i = indexFor(spec, inst, frag);
       while (slots_[i].used &&
-             (slots_[i].spec != spec || slots_[i].inst != inst)) {
+             (slots_[i].spec != spec || slots_[i].inst != inst ||
+              slots_[i].frag != frag)) {
         i = (i + 1) & mask;
       }
       return i;
@@ -205,7 +257,7 @@ class Recorder {
       slots_.assign(old.size() * 2, Slot{});
       for (const Slot& s : old) {
         if (!s.used) continue;
-        std::size_t i = probe(s.spec, s.inst);
+        std::size_t i = probe(s.spec, s.inst, s.frag);
         slots_[i] = s;
       }
     }
@@ -214,8 +266,13 @@ class Recorder {
     std::size_t size_ = 0;
   };
 
+  /// A fragment of a pending message terminated without delivery.
+  void recordFragmentLoss(std::int32_t specId, std::int64_t instanceId,
+                          StreamRecord& r);
+
   std::vector<StreamRecord> records_;
-  PendingMap pending_;
+  OpenMap<Pending> pending_;   // keyed (spec, inst), frag always 0
+  OpenMap<FragState> frags_;   // protected specs only, keyed per fragment
   bool finalized_ = false;
 };
 

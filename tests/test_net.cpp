@@ -113,6 +113,132 @@ TEST(Topology, UnreachableThrows) {
   EXPECT_THROW(t.shortestPath(a, b), ConfigError);
 }
 
+TEST(Topology, AvoidingTheOnlyPathReturnsEmpty) {
+  // A line T - SW - L: cutting either cable strands the endpoints, and
+  // the avoiding variant degrades to empty instead of throwing.
+  Topology t;
+  const NodeId a = t.addDevice("T");
+  const NodeId sw = t.addSwitch("SW");
+  const NodeId b = t.addDevice("L");
+  t.connect(a, sw);
+  t.connect(sw, b);
+  EXPECT_TRUE(t.shortestPathAvoiding(a, b, t.linkBetween(a, sw)).empty());
+  // Avoiding the REVERSE direction cuts the same cable: still empty.
+  EXPECT_TRUE(t.shortestPathAvoiding(a, b, t.linkBetween(sw, a)).empty());
+}
+
+TEST(Topology, AvoidingRedundantTrunkReroutes) {
+  // The redundant cell: killing spine A's trunk leaves the spine-B route.
+  Topology t = makeRedundantTopology(/*spineLength=*/2,
+                                     /*devicesPerSwitch=*/0);
+  const LinkId trunkA = t.linkBetween(2, 3);
+  const auto detour = t.shortestPathAvoiding(0, 1, trunkA);
+  ASSERT_EQ(detour.size(), 3u);  // T -> B1 -> B2 -> L
+  for (const LinkId l : detour) {
+    EXPECT_NE(l, trunkA);
+    EXPECT_NE(t.link(l).reverse, trunkA);
+  }
+}
+
+TEST(Topology, AvoidingMultipleLinksCutsEveryCable) {
+  Topology t = makeRedundantTopology(/*spineLength=*/2,
+                                     /*devicesPerSwitch=*/0);
+  const std::vector<LinkId> both = {t.linkBetween(2, 3), t.linkBetween(4, 5)};
+  // Both trunks dead: T and L are disconnected.
+  EXPECT_TRUE(t.shortestPathAvoiding(0, 1, both).empty());
+  // One dead trunk (span form) still reroutes.
+  const std::vector<LinkId> one = {t.linkBetween(2, 3)};
+  EXPECT_EQ(t.shortestPathAvoiding(0, 1, one).size(), 3u);
+}
+
+/// No two disjoint paths may share a cable: not a link, not its reverse.
+void expectCableDisjoint(const Topology& t,
+                         const std::vector<std::vector<LinkId>>& paths) {
+  std::vector<char> used(static_cast<std::size_t>(t.numLinks()), 0);
+  for (const auto& path : paths) {
+    for (const LinkId l : path) {
+      EXPECT_FALSE(used[static_cast<std::size_t>(l)]);
+      used[static_cast<std::size_t>(l)] = 1;
+      const LinkId rev = t.link(l).reverse;
+      if (rev != kNoLink) {
+        EXPECT_FALSE(used[static_cast<std::size_t>(rev)]);
+        used[static_cast<std::size_t>(rev)] = 1;
+      }
+    }
+  }
+}
+
+TEST(Topology, DisjointPathsShareNoCable) {
+  const Topology t = makeRedundantTopology(/*spineLength=*/3,
+                                           /*devicesPerSwitch=*/1);
+  const auto paths = t.disjointPaths(0, 1, 2);
+  ASSERT_EQ(paths.size(), 2u);
+  expectCableDisjoint(t, paths);
+  // Both are real T -> L chains.
+  for (const auto& path : paths) {
+    ASSERT_FALSE(path.empty());
+    NodeId at = 0;
+    for (const LinkId l : path) {
+      EXPECT_EQ(t.link(l).from, at);
+      at = t.link(l).to;
+    }
+    EXPECT_EQ(at, 1);
+  }
+  // Member 0 is the shortest path (spine A, wired first).
+  EXPECT_EQ(paths[0], t.shortestPath(0, 1));
+}
+
+TEST(Topology, DisjointPathsReturnsFewerWhenExhausted) {
+  // The testbed has a single trunk: only one T -> L path exists.
+  const Topology testbed = makeTestbedTopology();
+  EXPECT_EQ(testbed.disjointPaths(0, 2, 2).size(), 1u);
+  // The redundant cell supplies exactly two; asking for three caps at two.
+  const Topology cell = makeRedundantTopology(2, 0);
+  const auto paths = cell.disjointPaths(0, 1, 3);
+  EXPECT_EQ(paths.size(), 2u);
+  expectCableDisjoint(cell, paths);
+}
+
+TEST(Topology, DisjointPathsPropertyOnRandomGrids) {
+  // Property: on randomly wired double-ladder graphs, any two returned
+  // paths are cable-disjoint, connected T -> L chains.
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    Topology t;
+    const NodeId src = t.addDevice("T");
+    const NodeId dst = t.addDevice("L");
+    const int switches = 4 + static_cast<int>(rng() % 5);
+    std::vector<NodeId> sw;
+    for (int i = 0; i < switches; ++i) {
+      sw.push_back(t.addSwitch("S" + std::to_string(i)));
+    }
+    // A random connected mesh: chain everything, then extra chords.
+    t.connect(src, sw.front());
+    for (std::size_t i = 0; i + 1 < sw.size(); ++i) {
+      t.connect(sw[i], sw[i + 1]);
+    }
+    t.connect(sw.back(), dst);
+    t.connect(src, sw[rng() % sw.size() / 2 + sw.size() / 2]);
+    const int chords = static_cast<int>(rng() % 4);
+    for (int i = 0; i < chords; ++i) {
+      const NodeId a = sw[rng() % sw.size()];
+      const NodeId b = sw[rng() % sw.size()];
+      if (a != b && t.linkBetween(a, b) == kNoLink) t.connect(a, b);
+    }
+    const auto paths = t.disjointPaths(src, dst, 2);
+    ASSERT_GE(paths.size(), 1u);
+    expectCableDisjoint(t, paths);
+    for (const auto& path : paths) {
+      NodeId at = src;
+      for (const LinkId l : path) {
+        EXPECT_EQ(t.link(l).from, at);
+        at = t.link(l).to;
+      }
+      EXPECT_EQ(at, dst);
+    }
+  }
+}
+
 StreamSpec validSpec(const Topology& t) {
   StreamSpec s;
   s.name = "s";

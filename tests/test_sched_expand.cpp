@@ -178,6 +178,65 @@ TEST(Expand, FrameTxTimeUniformForSharedAndProb) {
             net::frameTxTime(200, link.bandwidthBps));
 }
 
+TEST(Expand, ProtectedTctBecomesDisjointMemberGroups) {
+  net::Topology t = net::makeRedundantTopology(/*spineLength=*/2,
+                                               /*devicesPerSwitch=*/0);
+  net::StreamSpec spec = tct(t, "crit", 0, 1, milliseconds(4), 100, false);
+  spec.redundancy = 2;
+  SchedulerConfig cfg;
+  const auto exp = expandStreams(t, {spec}, cfg);
+  ASSERT_EQ(exp.streams.size(), 2u);
+  ASSERT_EQ(exp.specToStreams[0], (std::vector<StreamId>{0, 1}));
+  const ExpandedStream& m0 = exp.streams[0];
+  const ExpandedStream& m1 = exp.streams[1];
+  EXPECT_EQ(m0.member, 0);
+  EXPECT_EQ(m1.member, 1);
+  EXPECT_EQ(m0.name, "crit/m1");
+  EXPECT_EQ(m1.name, "crit/m2");
+  // Structural replicas...
+  EXPECT_EQ(m0.kind, m1.kind);
+  EXPECT_EQ(m0.period, m1.period);
+  EXPECT_EQ(m0.priority, m1.priority);
+  EXPECT_EQ(m0.framePayloads, m1.framePayloads);
+  // ...over cable-disjoint paths.
+  for (const net::LinkId a : m0.path) {
+    for (const net::LinkId b : m1.path) {
+      EXPECT_NE(a, b);
+      EXPECT_NE(t.link(a).reverse, b);
+    }
+  }
+}
+
+TEST(Expand, ProtectedEctIsMemberMajor) {
+  net::Topology t = net::makeRedundantTopology(2, 0);
+  net::StreamSpec spec = ect("stop", 0, 1, milliseconds(16), 200);
+  spec.redundancy = 2;
+  SchedulerConfig cfg;
+  cfg.numProbabilistic = 3;
+  const auto exp = expandStreams(t, {spec}, cfg);
+  // redundancy * N Prob streams, member-major: m1/ps1..3 then m2/ps1..3.
+  ASSERT_EQ(exp.streams.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    const ExpandedStream& s = exp.streams[static_cast<std::size_t>(i)];
+    EXPECT_EQ(s.kind, StreamKind::Prob);
+    EXPECT_EQ(s.member, i / 3);
+    // Same possibility index -> same occurrence offset on both members.
+    EXPECT_EQ(s.occurrence,
+              exp.streams[static_cast<std::size_t>(i % 3)].occurrence);
+  }
+  EXPECT_EQ(exp.streams[0].name, "stop/m1/ps1");
+  EXPECT_EQ(exp.streams[5].name, "stop/m2/ps3");
+}
+
+TEST(Expand, RedundancyExceedingTopologyThrows) {
+  // The testbed has one trunk: no two disjoint paths device-to-device.
+  net::Topology t = net::makeTestbedTopology();
+  net::StreamSpec spec = tct(t, "crit", 0, 2, milliseconds(4), 100, false);
+  spec.redundancy = 2;
+  SchedulerConfig cfg;
+  EXPECT_THROW(expandStreams(t, {spec}, cfg), ConfigError);
+}
+
 TEST(Expand, BadPriorityConfigRejected) {
   net::Topology t = net::makeTestbedTopology();
   SchedulerConfig cfg;

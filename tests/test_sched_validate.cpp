@@ -4,6 +4,7 @@
 
 #include "net/ethernet.h"
 #include "sched/expand.h"
+#include "sched/scheduler.h"
 #include "sched/validate.h"
 
 namespace etsn::sched {
@@ -283,6 +284,76 @@ TEST(Validate, PeriodicWraparoundOverlapDetected) {
     found |= viol.constraint == std::string("(5) overlap");
   }
   EXPECT_TRUE(found);
+}
+
+// --- Family (8): 802.1CB member-group consistency. ---
+
+/// A solved protected schedule on the redundant cell we can perturb.
+struct ProtectedFixture {
+  net::Topology topo;
+  Schedule sched;
+
+  ProtectedFixture() {
+    topo = net::makeRedundantTopology(/*spineLength=*/2,
+                                      /*devicesPerSwitch=*/0);
+    net::StreamSpec crit;
+    crit.name = "crit";
+    crit.src = 0;
+    crit.dst = 1;
+    crit.period = milliseconds(4);
+    crit.maxLatency = milliseconds(4);
+    crit.payloadBytes = 500;
+    crit.redundancy = 2;
+    sched = buildSchedule(topo, {crit}, {}).schedule;
+  }
+};
+
+bool hasRedundancyViolation(const net::Topology& topo, const Schedule& s) {
+  for (const auto& v : validate(topo, s)) {
+    if (v.constraint == std::string("(8) redundancy")) return true;
+  }
+  return false;
+}
+
+TEST(Validate, AcceptsProtectedSchedule) {
+  ProtectedFixture f;
+  ASSERT_TRUE(f.sched.info.feasible);
+  ASSERT_EQ(f.sched.streams.size(), 2u);
+  EXPECT_TRUE(validate(f.topo, f.sched).empty());
+}
+
+TEST(Validate, DetectsMemberCableSharing) {
+  ProtectedFixture f;
+  ASSERT_TRUE(f.sched.info.feasible);
+  // Collapse member 1 onto member 0's path: one cut now kills both.
+  f.sched.streams[1].path = f.sched.streams[0].path;
+  EXPECT_TRUE(hasRedundancyViolation(f.topo, f.sched));
+}
+
+TEST(Validate, DetectsMissingMemberGroup) {
+  ProtectedFixture f;
+  ASSERT_TRUE(f.sched.info.feasible);
+  // The spec asks redundancy 2 but only member 0 is scheduled.
+  f.sched.specToStreams[0] = {0};
+  EXPECT_TRUE(hasRedundancyViolation(f.topo, f.sched));
+}
+
+TEST(Validate, DetectsNonReplicaMembers) {
+  ProtectedFixture f;
+  ASSERT_TRUE(f.sched.info.feasible);
+  // Member 1 suddenly carries a different payload: not a replica.
+  f.sched.streams[1].framePayloads = {100};
+  EXPECT_TRUE(hasRedundancyViolation(f.topo, f.sched));
+}
+
+TEST(Validate, DetectsMemberMissingCommonReleaseDeadline) {
+  ProtectedFixture f;
+  ASSERT_TRUE(f.sched.info.feasible);
+  // Tighten member 1's deadline below its completion relative to the
+  // COMMON release (both members release with the earliest first slot):
+  // killing the early path would turn the survivor into a miss.
+  f.sched.streams[1].maxLatency = microseconds(1);
+  EXPECT_TRUE(hasRedundancyViolation(f.topo, f.sched));
 }
 
 }  // namespace

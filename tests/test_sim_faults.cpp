@@ -133,6 +133,44 @@ TEST(FaultPlan, ValidateAcceptsDefaultsAndForeverOutages) {
   EXPECT_NO_THROW(p.validate(topo, 0));
 }
 
+TEST(FaultPlan, ValidateRejectsOverlappingOutagesOnOneCable) {
+  const net::Topology topo = net::makeTestbedTopology();
+
+  // Plain overlap on the same directed link.
+  sim::FaultPlan overlap;
+  overlap.outages.push_back({8, milliseconds(10), milliseconds(30)});
+  overlap.outages.push_back({8, milliseconds(20), milliseconds(40)});
+  try {
+    overlap.validate(topo, 0);
+    FAIL() << "overlapping outages were accepted";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("overlapping outages on link"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // The two directions of a cable are the same physical resource.
+  const net::LinkId rev = topo.link(8).reverse;
+  ASSERT_NE(rev, net::kNoLink);
+  sim::FaultPlan bothDirections;
+  bothDirections.outages.push_back({8, milliseconds(10), milliseconds(30)});
+  bothDirections.outages.push_back({rev, milliseconds(20), milliseconds(40)});
+  EXPECT_THROW(bothDirections.validate(topo, 0), InvariantError);
+
+  // An open-ended outage overlaps everything after its start.
+  sim::FaultPlan forever;
+  forever.outages.push_back({8, milliseconds(10), 0});  // down for good
+  forever.outages.push_back({8, milliseconds(50), milliseconds(60)});
+  EXPECT_THROW(forever.validate(topo, 0), InvariantError);
+
+  // Back-to-back episodes (shared endpoint) and distinct cables are fine.
+  sim::FaultPlan ok;
+  ok.outages.push_back({8, milliseconds(10), milliseconds(20)});
+  ok.outages.push_back({8, milliseconds(20), milliseconds(30)});
+  ok.outages.push_back({4, milliseconds(15), milliseconds(25)});
+  EXPECT_NO_THROW(ok.validate(topo, 0));
+}
+
 TEST(FaultInjector, LinkSpecificModelOverridesGlobal) {
   const net::Topology topo = net::makeTestbedTopology();
   sim::FaultPlan plan;
