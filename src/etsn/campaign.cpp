@@ -199,6 +199,14 @@ std::string toJson(const CampaignResult& r, bool includeSamples,
     appendKv(out, "engine", t.result.solve.engine);
     appendKv(out, "degraded",
              static_cast<std::int64_t>(t.result.solve.degraded ? 1 : 0));
+    if (t.result.solve.engine == "admission") {
+      // Fleet sweeps over admission-engine cells report churn counters.
+      appendKv(out, "admission_admits", t.result.solve.admissionAdmits);
+      appendKv(out, "admission_rejects", t.result.solve.admissionRejects);
+      appendKv(out, "admission_cache_hits", t.result.solve.admissionCacheHits);
+      appendKv(out, "admission_fallback_to_smt",
+               t.result.solve.admissionFallbackToSmt);
+    }
     if (includeTiming) {
       appendKv(out, "wall_seconds", t.wallSeconds);
       appendKv(out, "solve_seconds", t.result.solve.solveSeconds);

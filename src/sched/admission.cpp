@@ -1,0 +1,1315 @@
+#include "sched/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/math.h"
+#include "net/ethernet.h"
+#include "sched/expand.h"
+#include "sched/smt_builder.h"
+
+namespace etsn::sched {
+
+namespace {
+
+// FNV-1a over typed fields; the one hash used for state, topology,
+// request and cache keys so equal content always collides on purpose.
+struct Hasher {
+  std::uint64_t h = 1469598103934665603ULL;
+  void byte(unsigned char b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u64(s.size());
+    for (const char c : s) byte(static_cast<unsigned char>(c));
+  }
+};
+
+void hashSpec(Hasher& h, const net::StreamSpec& spec) {
+  h.str(spec.name);
+  h.i64(spec.src);
+  h.i64(spec.dst);
+  h.u64(spec.path.size());
+  for (const net::LinkId l : spec.path) h.i64(l);
+  h.i64(spec.maxLatency);
+  h.i64(spec.priority);
+  h.i64(spec.payloadBytes);
+  h.i64(spec.period);
+  h.i64(spec.releaseOffset);
+  h.i64(static_cast<int>(spec.type));
+  h.i64(spec.share ? 1 : 0);
+  h.i64(spec.redundancy);
+}
+
+void hashStream(Hasher& h, const ExpandedStream& s) {
+  // Deliberately excludes id and specId: both are history-dependent
+  // (tombstones), while canonical behavior is fully determined by the
+  // content below (Prob same-spec grouping is recoverable from names).
+  h.str(s.name);
+  h.i64(static_cast<int>(s.kind));
+  h.i64(s.member);
+  h.i64(s.priority);
+  h.i64(s.share ? 1 : 0);
+  h.i64(s.period);
+  h.i64(s.maxLatency);
+  h.i64(s.occurrence);
+  h.u64(s.path.size());
+  for (const net::LinkId l : s.path) h.i64(l);
+  h.u64(s.framePayloads.size());
+  for (const int p : s.framePayloads) h.i64(p);
+  h.u64(s.framesOnLink.size());
+  for (const int f : s.framesOnLink) h.i64(f);
+}
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t scheduleHash(const Schedule& s) {
+  Hasher h;
+  h.i64(s.info.feasible ? 1 : 0);
+  h.u64(s.specs.size());
+  for (const net::StreamSpec& spec : s.specs) hashSpec(h, spec);
+  h.u64(s.streams.size());
+  for (const ExpandedStream& st : s.streams) hashStream(h, st);
+  h.u64(s.slots.size());
+  for (const Slot& sl : s.slots) {
+    h.i64(sl.stream);
+    h.i64(sl.hop);
+    h.i64(sl.frameIndex);
+    h.i64(sl.start);
+    h.i64(sl.duration);
+  }
+  return h.h;
+}
+
+AdmissionRequest addRequest(net::StreamSpec spec) {
+  AdmissionRequest r;
+  r.op = AdmissionRequest::Op::Add;
+  r.spec = std::move(spec);
+  return r;
+}
+
+AdmissionRequest removeRequest(std::string name) {
+  AdmissionRequest r;
+  r.op = AdmissionRequest::Op::Remove;
+  r.name = std::move(name);
+  return r;
+}
+
+AdmissionRequest modifyRequest(net::StreamSpec spec, std::string name) {
+  AdmissionRequest r;
+  r.op = AdmissionRequest::Op::Modify;
+  r.spec = std::move(spec);
+  r.name = std::move(name);
+  return r;
+}
+
+AdmissionEngine::AdmissionEngine(const net::Topology& topo,
+                                 std::vector<net::StreamSpec> initialSpecs,
+                                 const SchedulerConfig& config,
+                                 const AdmissionOptions& options)
+    : topo_(topo), config_(config), opts_(options) {
+  ETSN_CHECK_MSG(!opts_.ripupBudgets.empty(),
+                 "need at least one rip-up budget rung");
+  {
+    Hasher h;
+    h.i64(topo_.numNodes());
+    for (net::NodeId n = 0; n < topo_.numNodes(); ++n) {
+      const net::Node& node = topo_.node(n);
+      h.str(node.name);
+      h.i64(static_cast<int>(node.kind));
+    }
+    h.i64(topo_.numLinks());
+    for (net::LinkId l = 0; l < topo_.numLinks(); ++l) {
+      const net::Link& link = topo_.link(l);
+      h.i64(link.from);
+      h.i64(link.to);
+      h.i64(link.bandwidthBps);
+      h.i64(link.propagationDelay);
+      h.i64(link.timeUnit);
+      h.i64(link.reverse);
+    }
+    topoHash_ = h.h;
+  }
+
+  Expansion exp = expandStreams(topo_, initialSpecs, config_);
+  streams_ = std::move(exp.streams);
+  liveStream_.assign(streams_.size(), 1);
+  liveStreams_ = static_cast<int>(streams_.size());
+  for (std::size_t i = 0; i < initialSpecs.size(); ++i) {
+    net::StreamSpec& spec = initialSpecs[i];
+    if (!liveByName_.emplace(spec.name, static_cast<int>(i)).second) {
+      throw ConfigError("duplicate stream name '" + spec.name + "'");
+    }
+    // Mirror expandStreams' round-robin so later online expansions pick up
+    // exactly where the batch expansion left off.
+    if (spec.type == net::TrafficClass::TimeTriggered && spec.priority < 0) {
+      ++(spec.share ? sharedRr_ : nonSharedRr_);
+    }
+    specs_.push_back(SpecEntry{std::move(spec), true,
+                               std::move(exp.specToStreams[i])});
+    ++liveSpecs_;
+  }
+
+  placement_ = std::make_unique<Placement>(topo_, streams_, config_);
+  if (streams_.empty()) {
+    feasible_ = true;
+    return;
+  }
+  const PortfolioResult r = runPortfolio(topo_, streams_, config_,
+                                         opts_.portfolio);
+  feasible_ = r.feasible;
+  if (!feasible_) return;
+
+  const TimeNs tu = placement_->tu();
+  std::vector<std::vector<std::vector<std::int64_t>>> starts(streams_.size());
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    starts[i].resize(streams_[i].path.size());
+    for (std::size_t hop = 0; hop < streams_[i].path.size(); ++hop) {
+      starts[i][hop].resize(
+          static_cast<std::size_t>(streams_[i].framesOnLink[hop]));
+    }
+  }
+  for (const Slot& sl : r.slots) {
+    starts[static_cast<std::size_t>(sl.stream)][static_cast<std::size_t>(
+        sl.hop)][static_cast<std::size_t>(sl.frameIndex)] = sl.start / tu;
+  }
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    placement_->placeAt(static_cast<StreamId>(i), starts[i]);
+  }
+  stateHash_ = 0;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    stateHash_ ^= streamStateHash(static_cast<StreamId>(i));
+  }
+}
+
+AdmissionEngine::~AdmissionEngine() = default;
+
+// --- hashing ---------------------------------------------------------------
+
+std::uint64_t AdmissionEngine::streamStateHash(StreamId id) const {
+  const ExpandedStream& s = streams_[static_cast<std::size_t>(id)];
+  Hasher h;
+  hashStream(h, s);
+  if (placement_ && id < placement_->trackedStreams() &&
+      placement_->isPlaced(id)) {
+    const auto& st = placement_->startsOf(id);
+    h.u64(st.size());
+    for (const auto& hop : st) {
+      h.u64(hop.size());
+      for (const std::int64_t v : hop) h.i64(v);
+    }
+  } else {
+    h.u64(0);
+  }
+  return h.h;
+}
+
+void AdmissionEngine::hashOut(StreamId id) {
+  stateHash_ ^= streamStateHash(id);
+}
+
+void AdmissionEngine::hashIn(StreamId id) {
+  stateHash_ ^= streamStateHash(id);
+}
+
+std::uint64_t AdmissionEngine::stateHash() const {
+  Hasher h;
+  h.u64(stateHash_);
+  h.i64(sharedRr_);
+  h.i64(nonSharedRr_);
+  return h.h;
+}
+
+std::uint64_t AdmissionEngine::requestHashOf(const AdmissionRequest& req) const {
+  Hasher h;
+  h.i64(static_cast<int>(req.op));
+  hashSpec(h, req.spec);
+  h.str(req.name);
+  return h.h;
+}
+
+// --- op-logged mutation ----------------------------------------------------
+
+void AdmissionEngine::doAppend(Txn& txn, std::vector<ExpandedStream> streams) {
+  Op op;
+  op.kind = Op::Kind::Append;
+  op.stream = static_cast<StreamId>(streams_.size());
+  op.count = static_cast<int>(streams.size());
+  for (ExpandedStream& s : streams) {
+    ETSN_CHECK(s.id == static_cast<StreamId>(streams_.size()));
+    streams_.push_back(std::move(s));
+    liveStream_.push_back(1);
+    ++liveStreams_;
+    hashIn(streams_.back().id);
+  }
+  txn.ops.push_back(std::move(op));
+}
+
+void AdmissionEngine::doRip(Txn& txn, StreamId id) {
+  Op op;
+  op.kind = Op::Kind::Rip;
+  op.stream = id;
+  op.starts = placement_->startsOf(id);  // copy before removal
+  hashOut(id);
+  placement_->remove(id);
+  hashIn(id);
+  txn.ops.push_back(std::move(op));
+}
+
+bool AdmissionEngine::doTryPlace(Txn& txn, StreamId id) {
+  hashOut(id);
+  const bool ok = placement_->tryPlace(id);
+  hashIn(id);
+  if (!ok) return false;
+  Op op;
+  op.kind = Op::Kind::Place;
+  op.stream = id;
+  txn.ops.push_back(std::move(op));
+  return true;
+}
+
+void AdmissionEngine::doPlaceAt(
+    Txn& txn, StreamId id,
+    const std::vector<std::vector<std::int64_t>>& starts) {
+  hashOut(id);
+  placement_->placeAt(id, starts);
+  hashIn(id);
+  Op op;
+  op.kind = Op::Kind::Place;
+  op.stream = id;
+  txn.ops.push_back(std::move(op));
+}
+
+void AdmissionEngine::doSetFrames(Txn& txn, StreamId id,
+                                  std::vector<int> frames) {
+  ETSN_CHECK_MSG(!placement_->isPlaced(id),
+                 "rip a stream before changing its reservation grid");
+  Op op;
+  op.kind = Op::Kind::SetFrames;
+  op.stream = id;
+  op.frames = streams_[static_cast<std::size_t>(id)].framesOnLink;  // old
+  hashOut(id);
+  streams_[static_cast<std::size_t>(id)].framesOnLink = std::move(frames);
+  hashIn(id);
+  txn.ops.push_back(std::move(op));
+}
+
+int AdmissionEngine::doSpecAdd(Txn& txn, net::StreamSpec spec) {
+  const int idx = static_cast<int>(specs_.size());
+  liveByName_.emplace(spec.name, idx);
+  specs_.push_back(SpecEntry{std::move(spec), true, {}});
+  ++liveSpecs_;
+  Op op;
+  op.kind = Op::Kind::SpecAdd;
+  op.specIdx = idx;
+  txn.ops.push_back(std::move(op));
+  return idx;
+}
+
+void AdmissionEngine::doSpecKill(Txn& txn, int specIdx) {
+  SpecEntry& e = specs_[static_cast<std::size_t>(specIdx)];
+  ETSN_CHECK(e.live);
+  for (const StreamId sid : e.streams) {
+    ETSN_CHECK_MSG(!placement_->isPlaced(sid),
+                   "rip a spec's streams before killing it");
+    hashOut(sid);
+    liveStream_[static_cast<std::size_t>(sid)] = 0;
+    --liveStreams_;
+  }
+  e.live = false;
+  liveByName_.erase(e.spec.name);
+  --liveSpecs_;
+  Op op;
+  op.kind = Op::Kind::SpecKill;
+  op.specIdx = specIdx;
+  txn.ops.push_back(std::move(op));
+}
+
+void AdmissionEngine::rollback(Txn& txn, std::size_t mark) {
+  while (txn.ops.size() > mark) {
+    Op op = std::move(txn.ops.back());
+    txn.ops.pop_back();
+    switch (op.kind) {
+      case Op::Kind::Append: {
+        const std::size_t keep = streams_.size() -
+                                 static_cast<std::size_t>(op.count);
+        for (std::size_t i = keep; i < streams_.size(); ++i) {
+          const StreamId id = static_cast<StreamId>(i);
+          ETSN_CHECK(id >= placement_->trackedStreams() ||
+                     !placement_->isPlaced(id));
+          hashOut(id);
+        }
+        streams_.resize(keep);
+        liveStream_.resize(keep);
+        liveStreams_ -= op.count;
+        placement_->syncAppendedStreams();
+        break;
+      }
+      case Op::Kind::Rip:
+        hashOut(op.stream);
+        placement_->placeAt(op.stream, op.starts);
+        hashIn(op.stream);
+        break;
+      case Op::Kind::Place:
+        hashOut(op.stream);
+        placement_->remove(op.stream);
+        hashIn(op.stream);
+        break;
+      case Op::Kind::SetFrames:
+        hashOut(op.stream);
+        streams_[static_cast<std::size_t>(op.stream)].framesOnLink =
+            std::move(op.frames);
+        hashIn(op.stream);
+        break;
+      case Op::Kind::SpecAdd: {
+        ETSN_CHECK(op.specIdx == static_cast<int>(specs_.size()) - 1);
+        liveByName_.erase(specs_.back().spec.name);
+        specs_.pop_back();
+        --liveSpecs_;
+        break;
+      }
+      case Op::Kind::SpecKill: {
+        SpecEntry& e = specs_[static_cast<std::size_t>(op.specIdx)];
+        e.live = true;
+        liveByName_.emplace(e.spec.name, op.specIdx);
+        ++liveSpecs_;
+        for (const StreamId sid : e.streams) {
+          liveStream_[static_cast<std::size_t>(sid)] = 1;
+          ++liveStreams_;
+          hashIn(sid);
+        }
+        break;
+      }
+    }
+  }
+  if (mark == 0) {
+    sharedRr_ = txn.sharedRr;
+    nonSharedRr_ = txn.nonSharedRr;
+    ETSN_CHECK_MSG(stateHash_ == txn.stateHash &&
+                       liveSpecs_ == txn.liveSpecs &&
+                       liveStreams_ == txn.liveStreams,
+                   "admission rollback did not restore the schedule exactly");
+  }
+}
+
+// --- expansion / canonicalization ------------------------------------------
+
+std::vector<ExpandedStream> AdmissionEngine::expandSpec(
+    const net::StreamSpec& spec, std::int32_t specId) {
+  // Single-spec mirror of expandStreams (sched/expand.cpp), advancing the
+  // engine's persistent round-robin counters instead of locals so the
+  // result is exactly what a batch expansion in admission order would give.
+  net::validateSpec(topo_, spec);
+  std::vector<std::vector<net::LinkId>> paths;
+  if (spec.redundancy > 1) {
+    paths = topo_.disjointPaths(spec.src, spec.dst, spec.redundancy);
+    if (static_cast<int>(paths.size()) < spec.redundancy) {
+      throw ConfigError("stream '" + spec.name + "': redundancy " +
+                        std::to_string(spec.redundancy) +
+                        " needs that many link-disjoint paths but the "
+                        "topology supplies only " +
+                        std::to_string(paths.size()));
+    }
+  } else {
+    paths.push_back(spec.path.empty() ? topo_.shortestPath(spec.src, spec.dst)
+                                      : spec.path);
+  }
+  auto memberName = [&](int m) {
+    return spec.redundancy > 1 ? spec.name + "/m" + std::to_string(m + 1)
+                               : spec.name;
+  };
+  const std::vector<int> payloads = net::fragmentPayload(spec.payloadBytes);
+  std::vector<ExpandedStream> out;
+
+  if (spec.type == net::TrafficClass::TimeTriggered) {
+    int priority;
+    if (spec.priority >= 0) {
+      const int lo = spec.share ? config_.sharedPrioLow
+                                : config_.nonSharedPrioLow;
+      const int hi = spec.share ? config_.sharedPrioHigh
+                                : config_.nonSharedPrioHigh;
+      if (spec.priority < lo || spec.priority > hi) {
+        throw ConfigError("stream '" + spec.name +
+                          "': priority outside its group (constraint 6)");
+      }
+      priority = spec.priority;
+    } else if (spec.share) {
+      priority = config_.sharedPrioLow +
+                 sharedRr_++ % (config_.sharedPrioHigh -
+                                config_.sharedPrioLow + 1);
+    } else {
+      priority = config_.nonSharedPrioLow +
+                 nonSharedRr_++ % (config_.nonSharedPrioHigh -
+                                   config_.nonSharedPrioLow + 1);
+    }
+    for (int m = 0; m < static_cast<int>(paths.size()); ++m) {
+      ExpandedStream s;
+      s.id = static_cast<StreamId>(streams_.size() + out.size());
+      s.specId = specId;
+      s.member = m;
+      s.name = memberName(m);
+      s.kind = StreamKind::Det;
+      s.path = paths[static_cast<std::size_t>(m)];
+      s.share = spec.share;
+      s.period = spec.period;
+      s.maxLatency = spec.maxLatency;
+      s.occurrence = spec.releaseOffset;
+      s.framePayloads = payloads;
+      s.priority = priority;
+      s.framesOnLink = canonicalFrames(s);
+      out.push_back(std::move(s));
+    }
+  } else {
+    const int n = config_.numProbabilistic;
+    const TimeNs stagger = spec.period / n;
+    ETSN_CHECK_MSG(stagger > 0, "min interevent too small for N");
+    const TimeNs tightened = spec.maxLatency - stagger;
+    if (tightened <= 0) {
+      throw ConfigError(
+          "stream '" + spec.name +
+          "': deadline too tight for N probabilistic streams (e2e - T/N "
+          "<= 0); increase numProbabilistic");
+    }
+    if (spec.priority >= 0 && spec.priority != config_.ectPriority) {
+      throw ConfigError("stream '" + spec.name +
+                        "': ECT must use the EP priority (constraint 6)");
+    }
+    for (int m = 0; m < static_cast<int>(paths.size()); ++m) {
+      const std::vector<net::LinkId>& mPath =
+          paths[static_cast<std::size_t>(m)];
+      for (int k = 0; k < n; ++k) {
+        ExpandedStream s;
+        s.id = static_cast<StreamId>(streams_.size() + out.size());
+        s.specId = specId;
+        s.member = m;
+        s.name = memberName(m) + "/ps" + std::to_string(k + 1);
+        s.kind = StreamKind::Prob;
+        s.path = mPath;
+        s.priority = config_.ectPriority;
+        s.period = spec.period;
+        s.maxLatency = tightened;
+        s.occurrence = static_cast<TimeNs>(k) * stagger;
+        s.framePayloads = payloads;
+        s.framesOnLink.assign(mPath.size(),
+                              static_cast<int>(payloads.size()));
+        out.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> AdmissionEngine::canonicalFrames(
+    const ExpandedStream& s) const {
+  // Alg. 1 against the *live* ECT specs: base frames plus the prudent
+  // extras every live ECT stream crossing the link contributes.  Matches
+  // expandStreams' batch loop (sums commute, so spec order is irrelevant).
+  std::vector<int> out(s.path.size(), s.baseFrames());
+  if (s.kind != StreamKind::Det || !s.share || !config_.prudentReservation) {
+    return out;
+  }
+  for (std::size_t hop = 0; hop < s.path.size(); ++hop) {
+    const net::LinkId link = s.path[hop];
+    for (const SpecEntry& e : specs_) {
+      if (!e.live || e.spec.type != net::TrafficClass::EventTriggered) {
+        continue;
+      }
+      const std::vector<StreamId>& probIds = e.streams;
+      ETSN_CHECK(!probIds.empty());
+      for (std::size_t b = 0; b < probIds.size(); ++b) {
+        const ExpandedStream& pe =
+            streams_[static_cast<std::size_t>(probIds[b])];
+        if (b > 0 &&
+            pe.member ==
+                streams_[static_cast<std::size_t>(probIds[b - 1])].member) {
+          continue;  // not the first stream of its member group
+        }
+        if (std::find(pe.path.begin(), pe.path.end(), link) == pe.path.end()) {
+          continue;
+        }
+        out[hop] += prudentExtraFrames(
+            s.baseFrames(), maxFrameTxTime(s, topo_.link(link)),
+            pe.baseFrames(), e.spec.period);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<StreamId> AdmissionEngine::reservationAffected(
+    const std::vector<net::LinkId>& ectLinks) const {
+  std::vector<StreamId> out;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (!liveStream_[i]) continue;
+    const ExpandedStream& s = streams_[i];
+    if (s.kind != StreamKind::Det || !s.share) continue;
+    bool touches = false;
+    for (const net::LinkId l : s.path) {
+      if (std::binary_search(ectLinks.begin(), ectLinks.end(), l)) {
+        touches = true;
+        break;
+      }
+    }
+    if (!touches) continue;
+    if (canonicalFrames(s) != s.framesOnLink) {
+      out.push_back(static_cast<StreamId>(i));
+    }
+  }
+  std::sort(out.begin(), out.end(), [&](StreamId a, StreamId b) {
+    return streams_[static_cast<std::size_t>(a)].name <
+           streams_[static_cast<std::size_t>(b)].name;
+  });
+  return out;
+}
+
+void AdmissionEngine::rebuildPlacement() {
+  std::vector<std::pair<StreamId, std::vector<std::vector<std::int64_t>>>>
+      keep;
+  for (StreamId id = 0; id < placement_->trackedStreams(); ++id) {
+    if (placement_->isPlaced(id)) keep.emplace_back(id, placement_->startsOf(id));
+  }
+  placement_ = std::make_unique<Placement>(topo_, streams_, config_);
+  for (const auto& [id, st] : keep) placement_->placeAt(id, st);
+}
+
+// --- ladder ----------------------------------------------------------------
+
+bool AdmissionEngine::attemptPlace(Txn& txn,
+                                   const std::vector<StreamId>& slice,
+                                   int budget) {
+  const std::size_t mark = txn.ops.size();
+  auto byName = [&](StreamId a, StreamId b) {
+    return streams_[static_cast<std::size_t>(a)].name <
+           streams_[static_cast<std::size_t>(b)].name;
+  };
+  std::vector<StreamId> queue = slice;
+  std::sort(queue.begin(), queue.end(), byName);
+  int budgetLeft = budget;
+  while (!queue.empty()) {
+    const StreamId s = queue.front();
+    queue.erase(queue.begin());
+    if (doTryPlace(txn, s)) continue;
+    bool placed = false;
+    while (budgetLeft > 0) {
+      const net::LinkId blocked = placement_->lastFailedLink();
+      if (blocked == net::kNoLink) break;
+      const std::vector<StreamId> cands =
+          placement_->conflictCandidates(s, blocked);
+      if (cands.empty()) break;
+      // Canonical victim: lexicographically smallest stream name (never
+      // ids or place epochs — both are history-dependent).
+      const StreamId victim =
+          *std::min_element(cands.begin(), cands.end(), byName);
+      doRip(txn, victim);
+      --budgetLeft;
+      queue.insert(
+          std::upper_bound(queue.begin(), queue.end(), victim, byName),
+          victim);
+      if (doTryPlace(txn, s)) {
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      rollback(txn, mark);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AdmissionEngine::placeLadder(Txn& txn, std::vector<StreamId> slice,
+                                  std::string* rung) {
+  if (slice.empty()) {
+    *rung = "delta";
+    ++counters_.deltaSolves;
+    return true;
+  }
+  for (const int budget : opts_.ripupBudgets) {
+    const std::size_t mark = txn.ops.size();
+    if (attemptPlace(txn, slice, budget)) {
+      bool ripped = false;
+      for (std::size_t i = mark; i < txn.ops.size(); ++i) {
+        if (txn.ops[i].kind == Op::Kind::Rip) {
+          ripped = true;
+          break;
+        }
+      }
+      *rung = ripped ? "ripup" : "delta";
+      ++counters_.deltaSolves;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AdmissionEngine::trySmt(Txn& txn, const std::vector<StreamId>& newIds) {
+  txn.touchedSmt = true;
+  ++counters_.fallbackToSmt;
+  const TimeNs tu = placement_->tu();
+  auto pinsFor = [&](StreamId engineId, StreamId modelId) {
+    const ExpandedStream& s = streams_[static_cast<std::size_t>(engineId)];
+    const auto& st = placement_->startsOf(engineId);
+    std::vector<Slot> pins;
+    for (int hop = 0; hop < s.hops(); ++hop) {
+      const int frames = s.framesOnLink[static_cast<std::size_t>(hop)];
+      for (int j = 0; j < frames; ++j) {
+        Slot slot;
+        slot.stream = modelId;
+        slot.hop = hop;
+        slot.frameIndex = j;
+        slot.start = st[static_cast<std::size_t>(hop)]
+                       [static_cast<std::size_t>(j)] * tu;
+        pins.push_back(slot);
+      }
+    }
+    return pins;
+  };
+  const std::unordered_set<StreamId> fresh(newIds.begin(), newIds.end());
+
+  if (!smt_) {
+    // Cold model: every live placed stream, pinned to its current slots
+    // as unconditional facts — the model is only valid while those
+    // placements stand (invalidateSmt fires on any movement).
+    smtToEngine_.clear();
+    std::vector<ExpandedStream> model;
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      if (!liveStream_[i] || fresh.count(static_cast<StreamId>(i))) continue;
+      ExpandedStream c = streams_[i];
+      c.id = static_cast<StreamId>(model.size());
+      smtToEngine_.push_back(static_cast<StreamId>(i));
+      model.push_back(std::move(c));
+    }
+    SchedulerConfig smtConfig = config_;
+    smtConfig.conflictBudget = opts_.smtConflictBudget;
+    smt_ = std::make_unique<ScheduleSmt>(topo_, std::move(model), smtConfig);
+    smt_->buildConstraints();
+    for (std::size_t m = 0; m < smtToEngine_.size(); ++m) {
+      smt_->pinStreamTo(static_cast<StreamId>(m),
+                        pinsFor(smtToEngine_[m], static_cast<StreamId>(m)));
+    }
+  } else {
+    // Warm model: absorb streams admitted on the placement rungs since the
+    // last SMT call (zero-disruption adds, so existing pins stay valid).
+    std::unordered_set<StreamId> known(smtToEngine_.begin(),
+                                       smtToEngine_.end());
+    for (std::size_t i = 0; i < streams_.size(); ++i) {
+      const StreamId id = static_cast<StreamId>(i);
+      if (!liveStream_[i] || fresh.count(id) || known.count(id)) continue;
+      ExpandedStream c = streams_[i];
+      c.id = static_cast<StreamId>(smt_->streams().size());
+      const smt::Lit g = smt_->solver().boolVar();
+      smt_->addStreamGuarded(c, g);
+      smt_->pinStreamTo(c.id, pinsFor(id, c.id), g);
+      smt_->solver().require(g);  // commit immediately
+      smtToEngine_.push_back(id);
+    }
+  }
+
+  // Trial scope for the new streams (all members under one guard).
+  const smt::Lit g = smt_->solver().boolVar();
+  std::vector<StreamId> modelIds;
+  for (const StreamId id : newIds) {
+    ExpandedStream c = streams_[static_cast<std::size_t>(id)];
+    c.id = static_cast<StreamId>(smt_->streams().size());
+    modelIds.push_back(c.id);
+    smt_->addStreamGuarded(c, g);
+    smtToEngine_.push_back(id);
+  }
+  smt_->solver().setConflictBudget(opts_.smtConflictBudget);
+  const std::vector<smt::Lit> assume = {g};
+  const smt::Result r =
+      smt_->solver().solve(std::span<const smt::Lit>(assume));
+  if (r != smt::Result::Sat) {
+    // Unsat or conflict budget exhausted: permanently retire the trial
+    // scope; rung 5 gives the final verdict.
+    smt_->solver().require(~g);
+    for (std::size_t k = 0; k < newIds.size(); ++k) {
+      smt_->removeLastStream();
+      smtToEngine_.pop_back();
+    }
+    return false;
+  }
+  smt_->solver().require(g);  // commit
+  const std::vector<Slot> slots = smt_->extractSlots();
+  for (std::size_t k = 0; k < newIds.size(); ++k) {
+    const ExpandedStream& s = streams_[static_cast<std::size_t>(newIds[k])];
+    std::vector<std::vector<std::int64_t>> starts(
+        static_cast<std::size_t>(s.hops()));
+    for (int hop = 0; hop < s.hops(); ++hop) {
+      starts[static_cast<std::size_t>(hop)].resize(
+          static_cast<std::size_t>(
+              s.framesOnLink[static_cast<std::size_t>(hop)]));
+    }
+    for (const Slot& sl : slots) {
+      if (sl.stream != modelIds[k]) continue;
+      starts[static_cast<std::size_t>(sl.hop)]
+            [static_cast<std::size_t>(sl.frameIndex)] = sl.start / tu;
+    }
+    doPlaceAt(txn, newIds[k], starts);
+  }
+  return true;
+}
+
+bool AdmissionEngine::tryFullResolve(Txn& txn) {
+  ++counters_.fullResolves;
+  // Canonical compacted instance: live specs in admission order, streams
+  // renumbered contiguously — exactly what a from-scratch solve over the
+  // live specs would see, so the verdict matches the offline oracle.
+  std::vector<ExpandedStream> compact;
+  std::vector<StreamId> toEngine;
+  std::int32_t outSpec = 0;
+  for (const SpecEntry& e : specs_) {
+    if (!e.live) continue;
+    for (const StreamId sid : e.streams) {
+      ExpandedStream c = streams_[static_cast<std::size_t>(sid)];
+      c.id = static_cast<StreamId>(compact.size());
+      c.specId = outSpec;
+      toEngine.push_back(sid);
+      compact.push_back(std::move(c));
+    }
+    ++outSpec;
+  }
+  if (compact.empty()) return true;
+  const PortfolioResult r = runPortfolio(topo_, compact, config_,
+                                         opts_.portfolio);
+  if (!r.feasible) return false;
+
+  // Commit point: wholesale re-place (bypasses the op log — the caller
+  // must not roll back past a successful full re-solve).
+  (void)txn;
+  placement_ = std::make_unique<Placement>(topo_, streams_, config_);
+  const TimeNs tu = placement_->tu();
+  std::vector<std::vector<std::vector<std::int64_t>>> starts(compact.size());
+  for (std::size_t i = 0; i < compact.size(); ++i) {
+    starts[i].resize(compact[i].path.size());
+    for (std::size_t hop = 0; hop < compact[i].path.size(); ++hop) {
+      starts[i][hop].resize(
+          static_cast<std::size_t>(compact[i].framesOnLink[hop]));
+    }
+  }
+  for (const Slot& sl : r.slots) {
+    starts[static_cast<std::size_t>(sl.stream)][static_cast<std::size_t>(
+        sl.hop)][static_cast<std::size_t>(sl.frameIndex)] = sl.start / tu;
+  }
+  for (std::size_t i = 0; i < compact.size(); ++i) {
+    placement_->placeAt(toEngine[i], starts[i]);
+  }
+  stateHash_ = 0;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (liveStream_[i]) stateHash_ ^= streamStateHash(static_cast<StreamId>(i));
+  }
+  return true;
+}
+
+void AdmissionEngine::invalidateSmt() {
+  smt_.reset();
+  smtToEngine_.clear();
+}
+
+// --- request processing ----------------------------------------------------
+
+bool AdmissionEngine::processAdd(const net::StreamSpec& spec, Txn& txn,
+                                 std::string* rung, std::string* detail) {
+  if (liveByName_.count(spec.name) != 0) {
+    *rung = "invalid";
+    *detail = "a live stream named '" + spec.name + "' already exists";
+    return false;
+  }
+  const int specIdx = doSpecAdd(txn, spec);
+  // expandSpec throws ConfigError on malformed specs; request() turns that
+  // into an "invalid" rejection after rolling the txn back.
+  std::vector<ExpandedStream> fresh = expandSpec(spec, specIdx);
+  const StreamId firstId = static_cast<StreamId>(streams_.size());
+  const int count = static_cast<int>(fresh.size());
+
+  // Grid checks before the streams enter the Placement: uniform tu and
+  // hyperperiod divisibility (growth is handled by a rebuild).
+  const TimeNs tu = placement_->tu();
+  bool needRebuild = false;
+  for (const ExpandedStream& s : fresh) {
+    for (const net::LinkId l : s.path) {
+      if (topo_.link(l).timeUnit != tu) {
+        *rung = "invalid";
+        *detail = "stream '" + spec.name +
+                  "' uses a link time unit different from the schedule's";
+        return false;
+      }
+    }
+    if (s.period <= 0 || s.period % tu != 0) {
+      *rung = "invalid";
+      *detail = "stream '" + spec.name +
+                "' period is not a positive multiple of the time unit";
+      return false;
+    }
+    const std::int64_t periodTu = s.period / tu;
+    if (placement_->hyperTu() <= 0 ||
+        placement_->hyperTu() % periodTu != 0) {
+      needRebuild = true;
+    }
+  }
+  doAppend(txn, std::move(fresh));
+  std::vector<StreamId> newIds;
+  for (int k = 0; k < count; ++k) {
+    newIds.push_back(firstId + k);
+  }
+  specs_[static_cast<std::size_t>(specIdx)].streams = newIds;
+  // The rebuild is committed even if the request is later rejected: it
+  // preserves every placement bit-for-bit and only widens the internal
+  // hyperperiod, which placement results are invariant to.
+  if (needRebuild) {
+    rebuildPlacement();
+  } else {
+    placement_->syncAppendedStreams();
+  }
+
+  std::vector<StreamId> slice = newIds;
+  if (spec.type == net::TrafficClass::EventTriggered) {
+    // Prudent reservation: the new ECT enlarges the grids of shared TCT
+    // streams on every link it crosses; rip and re-place those too.
+    std::vector<net::LinkId> ectLinks;
+    for (const StreamId id : newIds) {
+      const ExpandedStream& s = streams_[static_cast<std::size_t>(id)];
+      ectLinks.insert(ectLinks.end(), s.path.begin(), s.path.end());
+    }
+    std::sort(ectLinks.begin(), ectLinks.end());
+    ectLinks.erase(std::unique(ectLinks.begin(), ectLinks.end()),
+                   ectLinks.end());
+    for (const StreamId sid : reservationAffected(ectLinks)) {
+      doRip(txn, sid);
+      doSetFrames(txn, sid,
+                  canonicalFrames(streams_[static_cast<std::size_t>(sid)]));
+      slice.push_back(sid);
+    }
+  }
+
+  if (placeLadder(txn, std::move(slice), rung)) return true;
+
+  if (opts_.smtMaxStreams > 0 && liveStreams_ <= opts_.smtMaxStreams &&
+      spec.type == net::TrafficClass::TimeTriggered) {
+    if (trySmt(txn, newIds)) {
+      *rung = "smt";
+      return true;
+    }
+  }
+  if (tryFullResolve(txn)) {
+    *rung = "resolve";
+    return true;
+  }
+  *rung = "resolve";
+  *detail = "no feasible schedule admits stream '" + spec.name +
+            "' (full portfolio re-solve failed)";
+  return false;
+}
+
+bool AdmissionEngine::processRemove(const std::string& name, Txn& txn,
+                                    std::string* rung, std::string* detail) {
+  const auto it = liveByName_.find(name);
+  if (it == liveByName_.end()) {
+    *rung = "invalid";
+    *detail = "no live stream named '" + name + "'";
+    return false;
+  }
+  const int specIdx = it->second;
+  const SpecEntry& e = specs_[static_cast<std::size_t>(specIdx)];
+  const bool wasEct = e.spec.type == net::TrafficClass::EventTriggered;
+  std::vector<net::LinkId> ectLinks;
+  if (wasEct) {
+    for (const StreamId sid : e.streams) {
+      const ExpandedStream& s = streams_[static_cast<std::size_t>(sid)];
+      ectLinks.insert(ectLinks.end(), s.path.begin(), s.path.end());
+    }
+    std::sort(ectLinks.begin(), ectLinks.end());
+    ectLinks.erase(std::unique(ectLinks.begin(), ectLinks.end()),
+                   ectLinks.end());
+  }
+  for (const StreamId sid : e.streams) {
+    if (placement_->isPlaced(sid)) doRip(txn, sid);
+  }
+  doSpecKill(txn, specIdx);
+
+  std::vector<StreamId> slice;
+  if (wasEct) {
+    // Shrink the prudent reservations the departed ECT was responsible
+    // for; the affected shared streams re-place on their tighter grids.
+    for (const StreamId sid : reservationAffected(ectLinks)) {
+      doRip(txn, sid);
+      doSetFrames(txn, sid,
+                  canonicalFrames(streams_[static_cast<std::size_t>(sid)]));
+      slice.push_back(sid);
+    }
+  }
+  if (placeLadder(txn, std::move(slice), rung)) return true;
+  if (tryFullResolve(txn)) {
+    *rung = "resolve";
+    return true;
+  }
+  *rung = "resolve";
+  *detail = "could not re-place shrunken reservations after removing '" +
+            name + "'";
+  return false;
+}
+
+AdmissionDecision AdmissionEngine::decide(const AdmissionRequest& req,
+                                          Txn& txn) {
+  AdmissionDecision d;
+  std::string rung = "invalid";
+  std::string detail;
+  bool ok = false;
+  switch (req.op) {
+    case AdmissionRequest::Op::Add:
+      ok = processAdd(req.spec, txn, &rung, &detail);
+      break;
+    case AdmissionRequest::Op::Remove: {
+      const std::string& target = req.name.empty() ? req.spec.name : req.name;
+      ok = processRemove(target, txn, &rung, &detail);
+      break;
+    }
+    case AdmissionRequest::Op::Modify: {
+      // Atomic remove + add: if the add is rejected, the txn rollback
+      // resurrects the removed spec, so a failed modify changes nothing.
+      const std::string target = req.name.empty() ? req.spec.name : req.name;
+      ok = processRemove(target, txn, &rung, &detail);
+      if (ok) ok = processAdd(req.spec, txn, &rung, &detail);
+      break;
+    }
+  }
+  d.admitted = ok;
+  d.rung = rung;
+  d.detail = detail;
+  if (ok) {
+    int appended = 0;
+    std::vector<StreamId> ripped;
+    for (const Op& op : txn.ops) {
+      if (op.kind == Op::Kind::Append) appended += op.count;
+      if (op.kind == Op::Kind::Rip) ripped.push_back(op.stream);
+    }
+    if (rung == "resolve") {
+      d.movedStreams = liveStreams_ - appended;
+    } else {
+      std::sort(ripped.begin(), ripped.end());
+      ripped.erase(std::unique(ripped.begin(), ripped.end()), ripped.end());
+      for (const StreamId sid : ripped) {
+        if (liveStream_[static_cast<std::size_t>(sid)]) ++d.movedStreams;
+      }
+    }
+  }
+  return d;
+}
+
+// --- cache -----------------------------------------------------------------
+
+const AdmissionEngine::CacheEntry* AdmissionEngine::cacheLookup(
+    std::uint64_t key, std::uint64_t reqHash) {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return nullptr;
+  CacheEntry& e = it->second;
+  if (e.topoHash != topoHash_ || e.stateHash != stateHash() ||
+      e.requestHash != reqHash) {
+    return nullptr;  // 64-bit key collision — treat as a miss
+  }
+  lru_.splice(lru_.begin(), lru_, e.lruIt);
+  return &e;
+}
+
+void AdmissionEngine::cacheStore(std::uint64_t key, CacheEntry entry) {
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.erase(it->second.lruIt);
+    cache_.erase(it);
+  }
+  lru_.push_front(key);
+  entry.lruIt = lru_.begin();
+  cache_.emplace(key, std::move(entry));
+  while (cache_.size() > opts_.cacheCapacity) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+    ++counters_.cacheEvictions;
+  }
+}
+
+StreamId AdmissionEngine::deltaTarget(const StreamDelta& d) const {
+  const auto it = liveByName_.find(d.spec);
+  ETSN_CHECK_MSG(it != liveByName_.end(),
+                 "cache replay references a spec that is not live");
+  const SpecEntry& e = specs_[static_cast<std::size_t>(it->second)];
+  ETSN_CHECK(d.idx >= 0 && d.idx < static_cast<int>(e.streams.size()));
+  return e.streams[static_cast<std::size_t>(d.idx)];
+}
+
+AdmissionDecision AdmissionEngine::replay(const AdmissionRequest& req,
+                                          const CacheEntry& entry) {
+  AdmissionDecision d;
+  d.fromCache = true;
+  d.rung = "cache";
+  d.detail = entry.detail;
+  d.admitted = entry.admitted;
+  d.movedStreams = entry.movedStreams;
+  if (!entry.admitted) return d;  // rejection: state untouched, by contract
+
+  Txn txn;  // op log for hash maintenance; never rolled back
+  txn.stateHash = stateHash_;
+  auto replayRemove = [&](const std::string& name) {
+    const int specIdx = liveByName_.at(name);
+    const SpecEntry& e = specs_[static_cast<std::size_t>(specIdx)];
+    for (const StreamId sid : e.streams) {
+      if (placement_->isPlaced(sid)) doRip(txn, sid);
+    }
+    doSpecKill(txn, specIdx);
+  };
+  auto replayAdd = [&](const net::StreamSpec& spec) {
+    const int specIdx = doSpecAdd(txn, spec);
+    std::vector<ExpandedStream> fresh = expandSpec(spec, specIdx);
+    const StreamId firstId = static_cast<StreamId>(streams_.size());
+    const int count = static_cast<int>(fresh.size());
+    const TimeNs tu = placement_->tu();
+    bool needRebuild = false;
+    for (const ExpandedStream& s : fresh) {
+      if (placement_->hyperTu() <= 0 ||
+          placement_->hyperTu() % (s.period / tu) != 0) {
+        needRebuild = true;
+      }
+    }
+    doAppend(txn, std::move(fresh));
+    std::vector<StreamId>& ids =
+        specs_[static_cast<std::size_t>(specIdx)].streams;
+    for (int k = 0; k < count; ++k) ids.push_back(firstId + k);
+    if (needRebuild) {
+      rebuildPlacement();
+    } else {
+      placement_->syncAppendedStreams();
+    }
+  };
+  switch (req.op) {
+    case AdmissionRequest::Op::Add:
+      replayAdd(req.spec);
+      break;
+    case AdmissionRequest::Op::Remove:
+      replayRemove(req.name.empty() ? req.spec.name : req.name);
+      break;
+    case AdmissionRequest::Op::Modify:
+      replayRemove(req.name.empty() ? req.spec.name : req.name);
+      replayAdd(req.spec);
+      break;
+  }
+  // Apply the recorded placement deltas: rip everything first so no
+  // transient state ever has two streams marked over the same slots.
+  for (const StreamDelta& delta : entry.deltas) {
+    const StreamId sid = deltaTarget(delta);
+    if (placement_->isPlaced(sid)) doRip(txn, sid);
+  }
+  for (const StreamDelta& delta : entry.deltas) {
+    const StreamId sid = deltaTarget(delta);
+    if (streams_[static_cast<std::size_t>(sid)].framesOnLink != delta.frames) {
+      doSetFrames(txn, sid, delta.frames);
+    }
+  }
+  for (const StreamDelta& delta : entry.deltas) {
+    doPlaceAt(txn, deltaTarget(delta), delta.starts);
+  }
+  ETSN_CHECK_MSG(stateHash() == entry.postStateHash,
+                 "sub-schedule cache replay diverged from the recorded "
+                 "post-state");
+  return d;
+}
+
+// --- public entry points ---------------------------------------------------
+
+AdmissionDecision AdmissionEngine::request(const AdmissionRequest& req) {
+  if (!feasible_) {
+    throw ConfigError(
+        "admission engine: the base schedule is infeasible; nothing to "
+        "admit against");
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  ++counters_.requests;
+  const std::uint64_t reqHash = requestHashOf(req);
+  std::uint64_t key = 0;
+  {
+    Hasher h;
+    h.u64(topoHash_);
+    h.u64(stateHash());
+    h.u64(reqHash);
+    key = h.h;
+  }
+
+  AdmissionDecision d;
+  bool decided = false;
+  if (opts_.cacheCapacity > 0) {
+    if (const CacheEntry* e = cacheLookup(key, reqHash)) {
+      ++counters_.cacheHits;
+      d = replay(req, *e);
+      decided = true;
+    } else {
+      ++counters_.cacheMisses;
+    }
+  }
+
+  if (!decided) {
+    Txn txn;
+    txn.stateHash = stateHash_;
+    txn.sharedRr = sharedRr_;
+    txn.nonSharedRr = nonSharedRr_;
+    txn.liveSpecs = liveSpecs_;
+    txn.liveStreams = liveStreams_;
+    try {
+      d = decide(req, txn);
+    } catch (const ConfigError& err) {
+      d = AdmissionDecision{};
+      d.rung = "invalid";
+      d.detail = err.what();
+    }
+    if (!d.admitted) rollback(txn);
+
+    // Cacheability: never a transition that invoked the warm SMT solver
+    // (its verdicts depend on learned-clause history; replaying one would
+    // desynchronize cache-on and cache-off runs), and never a delta too
+    // large to be worth replaying.
+    if (opts_.cacheCapacity > 0 && !txn.touchedSmt) {
+      CacheEntry entry;
+      entry.topoHash = topoHash_;
+      // The key triple this entry answers for is the *pre*-state,
+      // reconstructed from the txn snapshot (stateHash() already moved on
+      // for admitted requests).
+      {
+        Hasher h;
+        h.u64(txn.stateHash);
+        h.i64(txn.sharedRr);
+        h.i64(txn.nonSharedRr);
+        entry.stateHash = h.h;
+      }
+      entry.requestHash = reqHash;
+      entry.admitted = d.admitted;
+      entry.rung = d.rung;
+      entry.detail = d.detail;
+      entry.movedStreams = d.movedStreams;
+      bool storable = true;
+      if (d.admitted) {
+        std::vector<StreamId> touched;
+        if (d.rung == "resolve") {
+          for (std::size_t i = 0; i < streams_.size(); ++i) {
+            if (liveStream_[i]) touched.push_back(static_cast<StreamId>(i));
+          }
+        } else {
+          for (const Op& op : txn.ops) {
+            if (op.kind == Op::Kind::Rip || op.kind == Op::Kind::Place ||
+                op.kind == Op::Kind::SetFrames) {
+              touched.push_back(op.stream);
+            } else if (op.kind == Op::Kind::Append) {
+              for (int k = 0; k < op.count; ++k) {
+                touched.push_back(op.stream + k);
+              }
+            }
+          }
+          std::sort(touched.begin(), touched.end());
+          touched.erase(std::unique(touched.begin(), touched.end()),
+                        touched.end());
+        }
+        for (const StreamId sid : touched) {
+          if (!liveStream_[static_cast<std::size_t>(sid)]) continue;
+          const ExpandedStream& s = streams_[static_cast<std::size_t>(sid)];
+          const SpecEntry& e = specs_[static_cast<std::size_t>(s.specId)];
+          StreamDelta delta;
+          delta.spec = e.spec.name;
+          const auto pos =
+              std::find(e.streams.begin(), e.streams.end(), sid);
+          ETSN_CHECK(pos != e.streams.end());
+          delta.idx = static_cast<int>(pos - e.streams.begin());
+          delta.frames = s.framesOnLink;
+          delta.starts = placement_->startsOf(sid);
+          entry.deltas.push_back(std::move(delta));
+        }
+        if (entry.deltas.size() > opts_.cacheMaxDelta) storable = false;
+      }
+      if (storable) {
+        entry.postStateHash = stateHash();
+        cacheStore(key, std::move(entry));
+      }
+    }
+  }
+
+  if (d.admitted) {
+    ++counters_.admits;
+    // The warm SMT model stays valid only across zero-disruption TCT adds
+    // (nothing moved, no reservation or live-set change it must track).
+    const bool pureAdd = req.op == AdmissionRequest::Op::Add &&
+                         req.spec.type == net::TrafficClass::TimeTriggered &&
+                         d.movedStreams == 0;
+    if (!pureAdd) invalidateSmt();
+  } else {
+    ++counters_.rejects;
+  }
+  d.seconds = secondsSince(t0);
+  return d;
+}
+
+std::vector<AdmissionDecision> AdmissionEngine::requestBatch(
+    std::span<const AdmissionRequest> reqs) {
+  std::vector<AdmissionDecision> out;
+  out.reserve(reqs.size());
+  for (const AdmissionRequest& r : reqs) out.push_back(request(r));
+  return out;
+}
+
+Schedule AdmissionEngine::schedule() const {
+  Schedule out;
+  out.config = config_;
+  const TimeNs tu = placement_->tu();
+  std::vector<std::int64_t> periods;
+  for (const SpecEntry& e : specs_) {
+    if (!e.live) continue;
+    const std::int32_t outSpec = static_cast<std::int32_t>(out.specs.size());
+    out.specs.push_back(e.spec);
+    out.specToStreams.emplace_back();
+    for (const StreamId sid : e.streams) {
+      ExpandedStream c = streams_[static_cast<std::size_t>(sid)];
+      const StreamId nid = static_cast<StreamId>(out.streams.size());
+      c.id = nid;
+      c.specId = outSpec;
+      out.specToStreams.back().push_back(nid);
+      periods.push_back(c.period);
+      if (feasible_ && placement_->isPlaced(sid)) {
+        const auto& st = placement_->startsOf(sid);
+        for (int hop = 0; hop < c.hops(); ++hop) {
+          const net::Link& l =
+              topo_.link(c.path[static_cast<std::size_t>(hop)]);
+          const int frames = c.framesOnLink[static_cast<std::size_t>(hop)];
+          for (int j = 0; j < frames; ++j) {
+            Slot slot;
+            slot.stream = nid;
+            slot.hop = hop;
+            slot.frameIndex = j;
+            slot.start = st[static_cast<std::size_t>(hop)]
+                           [static_cast<std::size_t>(j)] * tu;
+            slot.duration = ceilDiv(frameTxTimeOf(c, j, l), tu) * tu;
+            out.slots.push_back(slot);
+          }
+        }
+      }
+      out.streams.push_back(std::move(c));
+    }
+  }
+  if (!periods.empty()) out.hyperperiod = lcmAll(periods);
+  out.info.feasible = feasible_;
+  out.info.engine = "admission";
+  out.info.admissionAdmits = counters_.admits;
+  out.info.admissionRejects = counters_.rejects;
+  out.info.admissionCacheHits = counters_.cacheHits;
+  out.info.admissionFallbackToSmt = counters_.fallbackToSmt;
+  return out;
+}
+
+}  // namespace etsn::sched

@@ -1,0 +1,289 @@
+// Schedule-as-a-service: a long-running admission-control engine that
+// absorbs a sustained stream of add/remove/modify requests against a live
+// schedule (ROADMAP "online admission at fleet scale").
+//
+// Decision ladder, cheapest rung first (see DESIGN.md "Admission control"):
+//
+//  1. sub-schedule cache — an LRU keyed by (topology hash, canonical
+//     state hash, request hash).  Churn that revisits a prior
+//     configuration replays the recorded name-keyed placement deltas in
+//     O(slots) instead of re-solving.
+//  2. delta-place — untouched streams stay pinned bit-for-bit in the
+//     Placement substrate (sched/placement.h); only the request's slice
+//     (the new streams, plus shared TCT streams whose prudent-reservation
+//     grid changed with an ECT add/remove) is re-placed.
+//  3. escalating rip-up — when a slice stream finds no feasible offsets,
+//     rip conflicting streams off the blocking link (canonical
+//     name-ordered victims, budgeted, escalating budgets per attempt) and
+//     re-place them too.
+//  4. warm-started SMT — for small instances (<= smtMaxStreams), a
+//     persistent ScheduleSmt model extended per admission with guarded
+//     clauses and solved under assumption scopes (the incremental-SAT
+//     commit/retract idiom); existing slots stay pinned, so admissions on
+//     this rung are still zero-disruption.
+//  5. full re-solve — the portfolio scheduler on the canonical live
+//     stream set; the verdict authority for rejections (identical to a
+//     from-scratch solve over the same specs), at baseline cost.
+//
+// Determinism contract: every decision on rungs 1-3 and 5 is a pure
+// function of the canonical engine state (stream contents + placements,
+// not ids or history), so verdicts and schedule hashes are byte-identical
+// across thread counts and across cache on/off.  Rung 4 depends on the
+// solver's learned-clause history; its decisions are therefore never
+// cached (both cache-on and cache-off runs execute rung-4 work at the
+// same request positions with the same solver state, keeping them in
+// lockstep).  Rejections leave the schedule byte-identical: every state
+// mutation during a request is op-logged and unwound on rejection.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/stream.h"
+#include "net/topology.h"
+#include "sched/placement.h"
+#include "sched/portfolio.h"
+#include "sched/schedule.h"
+
+namespace etsn::sched {
+
+class ScheduleSmt;
+
+struct AdmissionOptions {
+  /// Rip-up budgets per ladder attempt; the first entry is the pure
+  /// delta-place pass (0 = pin everything untouched, place only the
+  /// slice).  Each later attempt restarts from the pre-attempt state with
+  /// a larger victim budget.
+  std::vector<int> ripupBudgets = {0, 8, 64};
+  /// Rung 4 is only entered while the live stream count stays at or below
+  /// this (an SMT encode is quadratic in streams; at fleet scale rung 5
+  /// is cheaper than the encode).  0 disables the SMT rung entirely.
+  int smtMaxStreams = 160;
+  /// Conflict budget per rung-4 solve (Unknown falls through to rung 5).
+  std::int64_t smtConflictBudget = 20000;
+  /// Sub-schedule cache capacity in entries; 0 disables the cache.
+  std::size_t cacheCapacity = 1024;
+  /// Placement deltas larger than this are not cached (a full re-solve
+  /// rewrites every stream; replaying that is no cheaper than solving).
+  std::size_t cacheMaxDelta = 256;
+  /// Budgets/seed/threads for the rung-5 portfolio re-solve (and the
+  /// initial solve).  Deterministic by rank for any thread count.
+  PortfolioOptions portfolio;
+};
+
+struct AdmissionRequest {
+  enum class Op { Add, Remove, Modify };
+  Op op = Op::Add;
+  /// Add/Modify: the spec to admit.  Ignored for Remove.
+  net::StreamSpec spec;
+  /// Remove/Modify: the live spec to retire; empty = spec.name (so a
+  /// Modify that keeps the name only sets `spec`).
+  std::string name;
+};
+
+AdmissionRequest addRequest(net::StreamSpec spec);
+AdmissionRequest removeRequest(std::string name);
+AdmissionRequest modifyRequest(net::StreamSpec spec, std::string name = "");
+
+struct AdmissionDecision {
+  bool admitted = false;
+  /// Served from the sub-schedule cache (replayed, not solved).
+  bool fromCache = false;
+  /// Ladder rung that decided: "cache", "delta", "ripup", "smt",
+  /// "resolve", or "invalid" (malformed request, state untouched).
+  std::string rung;
+  /// Human-readable rejection reason; empty on admission.
+  std::string detail;
+  /// Existing streams whose slots moved for this decision (0 on the pure
+  /// delta rung for a TCT add; rejections always 0 net).
+  int movedStreams = 0;
+  double seconds = 0;
+};
+
+struct AdmissionCounters {
+  std::int64_t requests = 0;
+  std::int64_t admits = 0;
+  std::int64_t rejects = 0;
+  std::int64_t cacheHits = 0;
+  std::int64_t cacheMisses = 0;
+  std::int64_t cacheEvictions = 0;
+  /// Decisions made on the delta/rip-up rungs (placement only).
+  std::int64_t deltaSolves = 0;
+  /// Requests that escalated into the warm SMT rung.
+  std::int64_t fallbackToSmt = 0;
+  /// Requests that escalated into a full portfolio re-solve.
+  std::int64_t fullResolves = 0;
+};
+
+/// Canonical content hash of a schedule (streams, slots, feasibility) —
+/// id-free, so equal schedules hash equal regardless of history.  The
+/// determinism fingerprint used by the admission tests and bench.
+std::uint64_t scheduleHash(const Schedule& s);
+
+class AdmissionEngine {
+ public:
+  /// Solves the initial spec set with the portfolio scheduler.  Check
+  /// feasible() before issuing requests: an infeasible base (or an
+  /// invalid spec set, which throws ConfigError) cannot absorb churn.
+  AdmissionEngine(const net::Topology& topo,
+                  std::vector<net::StreamSpec> initialSpecs,
+                  const SchedulerConfig& config,
+                  const AdmissionOptions& options = {});
+  ~AdmissionEngine();
+
+  AdmissionEngine(const AdmissionEngine&) = delete;
+  AdmissionEngine& operator=(const AdmissionEngine&) = delete;
+
+  bool feasible() const { return feasible_; }
+
+  /// Decide one request.  Admitted state extends/changes the schedule;
+  /// rejection leaves it byte-identical.  Malformed specs (unknown nodes,
+  /// duplicate live names, priority outside its group, ...) reject with
+  /// rung "invalid" instead of throwing — a service stays up.
+  AdmissionDecision request(const AdmissionRequest& req);
+
+  /// Batched admission: decisions are identical to issuing the requests
+  /// one by one (same order); the batch form amortizes the caller's
+  /// schedule export, not the decisions.
+  std::vector<AdmissionDecision> requestBatch(
+      std::span<const AdmissionRequest> reqs);
+
+  /// The current schedule over the live specs, in admission order, with
+  /// contiguous stream ids (canonical export; info.engine = "admission").
+  Schedule schedule() const;
+
+  /// Canonical state fingerprint: stream contents + placements + the
+  /// priority round-robin counters; id- and history-free.
+  std::uint64_t stateHash() const;
+
+  const AdmissionCounters& counters() const { return counters_; }
+  int liveSpecs() const { return liveSpecs_; }
+  int liveStreams() const { return liveStreams_; }
+
+ private:
+  struct SpecEntry {
+    net::StreamSpec spec;
+    bool live = false;
+    std::vector<StreamId> streams;
+  };
+  struct Op {
+    enum class Kind {
+      Append,     // n streams appended to streams_
+      Rip,        // stream ripped from placement (starts saved)
+      Place,      // stream placed (tryPlace / placeAt)
+      SetFrames,  // framesOnLink overwritten (old saved)
+      SpecAdd,    // spec entry appended (live)
+      SpecKill,   // spec entry retired (live -> false)
+    };
+    Kind kind;
+    StreamId stream = -1;
+    int specIdx = -1;
+    int count = 0;
+    std::vector<int> frames;
+    std::vector<std::vector<std::int64_t>> starts;
+  };
+  struct Txn {
+    std::vector<Op> ops;
+    std::uint64_t stateHash = 0;
+    int sharedRr = 0, nonSharedRr = 0;
+    int liveSpecs = 0, liveStreams = 0;
+    bool touchedSmt = false;
+  };
+  struct StreamDelta {
+    /// Stream identity that survives id remapping: the owning spec's name
+    /// plus the stream's index in the spec's (deterministic) expansion.
+    std::string spec;
+    int idx = 0;
+    std::vector<int> frames;
+    std::vector<std::vector<std::int64_t>> starts;
+  };
+  struct CacheEntry {
+    std::uint64_t topoHash = 0, stateHash = 0, requestHash = 0;
+    std::uint64_t postStateHash = 0;
+    bool admitted = false;
+    std::string rung;
+    std::string detail;
+    int movedStreams = 0;
+    /// Name-keyed placements to replay: touched existing streams plus the
+    /// request's new streams (ids are history-dependent; names are not).
+    std::vector<StreamDelta> deltas;
+    std::list<std::uint64_t>::iterator lruIt;
+  };
+
+  // --- op-logged state mutation (everything request() changes goes
+  // through these, so rollback() can unwind a rejection exactly) ---
+  void doAppend(Txn& txn, std::vector<ExpandedStream> streams);
+  void doRip(Txn& txn, StreamId id);
+  bool doTryPlace(Txn& txn, StreamId id);
+  void doPlaceAt(Txn& txn, StreamId id,
+                 const std::vector<std::vector<std::int64_t>>& starts);
+  void doSetFrames(Txn& txn, StreamId id, std::vector<int> frames);
+  int doSpecAdd(Txn& txn, net::StreamSpec spec);
+  void doSpecKill(Txn& txn, int specIdx);
+  void rollback(Txn& txn, std::size_t mark = 0);
+
+  // --- ladder rungs ---
+  AdmissionDecision decide(const AdmissionRequest& req, Txn& txn);
+  bool processAdd(const net::StreamSpec& spec, Txn& txn, std::string* rung,
+                  std::string* detail);
+  bool processRemove(const std::string& name, Txn& txn, std::string* rung,
+                     std::string* detail);
+  bool placeLadder(Txn& txn, std::vector<StreamId> slice, std::string* rung);
+  bool attemptPlace(Txn& txn, const std::vector<StreamId>& slice, int budget);
+  bool trySmt(Txn& txn, const std::vector<StreamId>& newStreams);
+  bool tryFullResolve(Txn& txn);
+  void invalidateSmt();
+
+  // --- expansion / canonicalization ---
+  std::vector<ExpandedStream> expandSpec(const net::StreamSpec& spec,
+                                         std::int32_t specId);
+  std::vector<int> canonicalFrames(const ExpandedStream& s) const;
+  std::vector<StreamId> reservationAffected(
+      const std::vector<net::LinkId>& ectLinks) const;
+  void rebuildPlacement();
+
+  // --- hashing / cache ---
+  std::uint64_t streamStateHash(StreamId id) const;
+  void hashOut(StreamId id);
+  void hashIn(StreamId id);
+  std::uint64_t requestHashOf(const AdmissionRequest& req) const;
+  const CacheEntry* cacheLookup(std::uint64_t key, std::uint64_t reqHash);
+  void cacheStore(std::uint64_t key, CacheEntry entry);
+  AdmissionDecision replay(const AdmissionRequest& req,
+                           const CacheEntry& entry);
+  StreamId deltaTarget(const StreamDelta& d) const;
+
+  const net::Topology& topo_;
+  SchedulerConfig config_;
+  AdmissionOptions opts_;
+  bool feasible_ = false;
+
+  std::vector<SpecEntry> specs_;
+  std::unordered_map<std::string, int> liveByName_;  // spec name -> index
+  std::vector<ExpandedStream> streams_;
+  std::vector<char> liveStream_;
+  int liveSpecs_ = 0;
+  int liveStreams_ = 0;
+  std::unique_ptr<Placement> placement_;
+  int sharedRr_ = 0, nonSharedRr_ = 0;
+
+  // Warm SMT scope (rung 4): model over a snapshot of the live streams,
+  // extended per admission; invalidated by any slot movement, removal or
+  // reservation change.
+  std::unique_ptr<ScheduleSmt> smt_;
+  std::vector<StreamId> smtToEngine_;
+
+  std::uint64_t topoHash_ = 0;
+  std::uint64_t stateHash_ = 0;
+
+  std::unordered_map<std::uint64_t, CacheEntry> cache_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  AdmissionCounters counters_;
+};
+
+}  // namespace etsn::sched

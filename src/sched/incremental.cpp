@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <span>
+#include <string>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -12,13 +14,45 @@
 
 namespace etsn::sched {
 
-LinkDownRepair repairLinkDown(const net::Topology& topo, const Schedule& base,
-                              net::LinkId failed) {
+LinkDownRepair repairLinksDown(const net::Topology& topo,
+                               const Schedule& base,
+                               std::span<const net::LinkId> failed) {
   ETSN_CHECK_MSG(base.info.feasible, "cannot repair an infeasible schedule");
-  const net::LinkId failedRev = topo.link(failed).reverse;
+  // Contract checks up front (see the header): failed links must exist,
+  // and every link a base stream references must still exist in `topo` —
+  // a schedule solved against a different (shrunken) topology would
+  // otherwise read out of bounds below and pin streams to nonsense.
+  for (const net::LinkId f : failed) {
+    if (f < 0 || f >= topo.numLinks()) {
+      throw ConfigError("repairLinksDown: failed link id " +
+                        std::to_string(f) + " does not exist (topology has " +
+                        std::to_string(topo.numLinks()) + " links)");
+    }
+  }
+  for (const ExpandedStream& s : base.streams) {
+    for (const net::LinkId l : s.path) {
+      if (l < 0 || l >= topo.numLinks()) {
+        throw ConfigError(
+            "repairLinksDown: base stream '" + s.name +
+            "' references link id " + std::to_string(l) +
+            " which does not exist in the given topology — repair must run "
+            "against the topology the schedule was solved on (model the "
+            "failure via the failed-link list, not by removing links)");
+      }
+    }
+  }
+  // Canonicalize to cable granularity: a cut cable kills both directions.
+  std::vector<net::LinkId> cut(failed.begin(), failed.end());
+  for (const net::LinkId f : failed) {
+    const net::LinkId rev = topo.link(f).reverse;
+    if (rev != net::kNoLink) cut.push_back(rev);
+  }
+  std::sort(cut.begin(), cut.end());
+  cut.erase(std::unique(cut.begin(), cut.end()), cut.end());
   auto usesFailed = [&](const std::vector<net::LinkId>& path) {
-    return std::find(path.begin(), path.end(), failed) != path.end() ||
-           std::find(path.begin(), path.end(), failedRev) != path.end();
+    return std::any_of(path.begin(), path.end(), [&](net::LinkId l) {
+      return std::binary_search(cut.begin(), cut.end(), l);
+    });
   };
 
   LinkDownRepair out;
@@ -40,7 +74,8 @@ LinkDownRepair repairLinkDown(const net::Topology& topo, const Schedule& base,
     if (!usesFailed(first.path)) continue;
     const net::NodeId src = topo.link(first.path.front()).from;
     const net::NodeId dst = topo.link(first.path.back()).to;
-    std::vector<net::LinkId> np = topo.shortestPathAvoiding(src, dst, failed);
+    std::vector<net::LinkId> np =
+        topo.shortestPathAvoiding(src, dst, std::span<const net::LinkId>(cut));
     if (np.empty()) {
       out.droppedSpecs.push_back(static_cast<std::int32_t>(i));
       for (const StreamId id : ids) keep[static_cast<std::size_t>(id)] = 0;
@@ -155,6 +190,11 @@ LinkDownRepair repairLinkDown(const net::Topology& topo, const Schedule& base,
     sched.hyperperiod = lcmAll(periods);
   }
   return out;
+}
+
+LinkDownRepair repairLinkDown(const net::Topology& topo, const Schedule& base,
+                              net::LinkId failed) {
+  return repairLinksDown(topo, base, std::span<const net::LinkId>(&failed, 1));
 }
 
 IncrementalScheduler::IncrementalScheduler(

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/stream.h"
@@ -50,12 +51,27 @@ struct LinkDownRepair {
   bool degraded = false;
 };
 
-/// Repair a feasible base schedule after a link (cable) failure: reroute
-/// every stream whose path uses the link or its reverse, recompute prudent
-/// reservations against the new ECT paths, and re-solve with every
-/// unaffected stream pinned to its existing slots (zero disruption for
-/// them).  Unreachable specs are dropped.  If the pinned SMT repair fails,
-/// falls back to a full heuristic re-placement with `degraded` set.
+/// Repair a feasible base schedule after one or more link (cable)
+/// failures: reroute every stream whose path uses a failed link or its
+/// reverse, recompute prudent reservations against the new ECT paths, and
+/// re-solve with every unaffected stream pinned to its existing slots
+/// (zero disruption for them).  Unreachable specs are dropped.  If the
+/// pinned SMT repair fails, falls back to a full heuristic re-placement
+/// with `degraded` set.
+///
+/// Contract: `topo` must be the topology the base schedule was solved
+/// against — every link id a base stream references must still exist in
+/// it (the failure is modelled by the `failed` list, not by shrinking the
+/// topology).  A base schedule referencing an unknown link id throws
+/// ConfigError instead of reading out of bounds; this is the "pinned
+/// stream references a link that no longer exists" hazard that
+/// pinStreamTo alone cannot detect (pins are (hop, frame) offsets — the
+/// link ids live in the stream paths checked here).
+LinkDownRepair repairLinksDown(const net::Topology& topo,
+                               const Schedule& base,
+                               std::span<const net::LinkId> failed);
+
+/// Single-link convenience wrapper over repairLinksDown.
 LinkDownRepair repairLinkDown(const net::Topology& topo, const Schedule& base,
                               net::LinkId failed);
 

@@ -415,6 +415,82 @@ bool Placement::tryPlace(StreamId id) {
   return true;
 }
 
+void Placement::placeAt(StreamId id,
+                        const std::vector<std::vector<std::int64_t>>& startsTu) {
+  const ExpandedStream& s = (*streams_)[static_cast<std::size_t>(id)];
+  ETSN_CHECK(!isPlaced(id) && s.hops() > 0);
+  ETSN_CHECK_MSG(startsTu.size() == static_cast<std::size_t>(s.hops()),
+                 "placeAt: hop count does not match the stream's path");
+  const std::int64_t period = s.period / tu_;
+  for (int hop = 0; hop < s.hops(); ++hop) {
+    const net::LinkId link = s.path[static_cast<std::size_t>(hop)];
+    const net::Link& l = topo_.link(link);
+    LinkState& ls = links_[static_cast<std::size_t>(link)];
+    const int frames = s.framesOnLink[static_cast<std::size_t>(hop)];
+    ETSN_CHECK_MSG(startsTu[static_cast<std::size_t>(hop)].size() ==
+                       static_cast<std::size_t>(frames),
+                   "placeAt: frame count does not match framesOnLink");
+    const int nUp =
+        hop > 0 ? s.framesOnLink[static_cast<std::size_t>(hop - 1)] : 0;
+    const int o = hop > 0 ? std::max(nUp - frames, 0) : 0;
+    const std::int64_t hopDelay =
+        hop > 0 ? ceilDiv(topo_.link(s.path[static_cast<std::size_t>(hop - 1)])
+                                  .propagationDelay +
+                              config_.switchProcessingDelay +
+                              config_.syncErrorMargin,
+                          tu_)
+                : 0;
+    for (int j = 0; j < frames; ++j) {
+      const std::int64_t start =
+          startsTu[static_cast<std::size_t>(hop)][static_cast<std::size_t>(j)];
+      const std::int64_t len = ceilDiv(frameTxTimeOf(s, j, l), tu_);
+      std::int64_t arrival = start;
+      if (hop > 0) {
+        const int upIdx = std::min(j + o, nUp - 1);
+        const net::Link& upLink =
+            topo_.link(s.path[static_cast<std::size_t>(hop - 1)]);
+        arrival = startsTu[static_cast<std::size_t>(hop - 1)]
+                          [static_cast<std::size_t>(upIdx)] +
+                  ceilDiv(frameTxTimeOf(s, upIdx, upLink), tu_) + hopDelay;
+      }
+      ls.placed.push_back({s.id, hop, j, start, len, period, arrival,
+                           s.priority, s.kind == StreamKind::Det});
+      mark(s, ls, start, len, period, /*place=*/true);
+    }
+  }
+  starts_[static_cast<std::size_t>(id)] = startsTu;
+  epoch_[static_cast<std::size_t>(id)] = ++epochCounter_;
+  ++numPlaced_;
+}
+
+void Placement::syncAppendedStreams() {
+  const std::size_t n = streams_->size();
+  if (n < starts_.size()) {
+    // Rolled-back appends: the truncated tail must already be ripped out.
+    for (std::size_t i = n; i < starts_.size(); ++i) {
+      ETSN_CHECK_MSG(starts_[i].empty(),
+                     "cannot truncate a stream that is still placed");
+    }
+    starts_.resize(n);
+    epoch_.resize(n);
+    return;
+  }
+  for (std::size_t i = starts_.size(); i < n; ++i) {
+    const ExpandedStream& s = (*streams_)[i];
+    for (const net::LinkId l : s.path) {
+      ETSN_CHECK_MSG(topo_.link(l).timeUnit == tu_,
+                     "appended stream uses a different time unit");
+    }
+    ETSN_CHECK_MSG(s.period > 0 && s.period % tu_ == 0,
+                   "stream period must be a positive multiple of tu");
+    ETSN_CHECK_MSG(hyperTu_ > 0 && hyperTu_ % (s.period / tu_) == 0,
+                   "appended stream's period must divide the hyperperiod "
+                   "(rebuild the Placement to grow it)");
+  }
+  starts_.resize(n);
+  epoch_.resize(n, 0);
+}
+
 void Placement::remove(StreamId id) {
   const ExpandedStream& s = (*streams_)[static_cast<std::size_t>(id)];
   ETSN_CHECK(isPlaced(id));

@@ -52,6 +52,34 @@ class Placement {
   /// committed and lastFailedLink() names the blocking link.
   bool tryPlace(StreamId id);
 
+  /// Pin a stream at the given per-hop, per-frame start offsets (in tu)
+  /// without searching: the shape must match the stream's framesOnLink
+  /// grid, and the offsets are trusted to be feasible (they come from a
+  /// previously validated placement — delta-solve pins untouched streams
+  /// bit-for-bit and rollback restores ripped victims exactly).  Arrivals
+  /// are derived the same way tryPlace derives them, so FIFO-isolation
+  /// state is identical to a search-placed stream.
+  void placeAt(StreamId id,
+               const std::vector<std::vector<std::int64_t>>& startsTu);
+
+  /// Current start offsets of a placed stream, starts[hop][frame] in tu
+  /// (snapshot source for delta-solve rollback).  Empty if not placed.
+  const std::vector<std::vector<std::int64_t>>& startsOf(StreamId id) const {
+    return starts_[static_cast<std::size_t>(id)];
+  }
+
+  /// Resize internal per-stream state after the caller appended streams
+  /// to (or truncated rejected appends from) the vector passed at
+  /// construction — online admission grows and shrinks the stream set in
+  /// place.  Every appended stream's period must divide the existing
+  /// hyperperiod and use the same tu (otherwise rebuild the Placement,
+  /// see hyperTu()); truncated streams must be unplaced.
+  void syncAppendedStreams();
+
+  /// Streams whose per-stream state is allocated (== the stream vector's
+  /// size at construction or at the last syncAppendedStreams).
+  int trackedStreams() const { return static_cast<int>(starts_.size()); }
+
   /// Rip a placed stream back out (backtracking / tabu moves).
   void remove(StreamId id);
 
@@ -80,6 +108,9 @@ class Placement {
 
   const std::vector<ExpandedStream>& streams() const { return *streams_; }
   TimeNs tu() const { return tu_; }
+  /// Hyperperiod of the construction-time stream set, in tu.  A stream
+  /// appended later fits this Placement only if its period divides it.
+  std::int64_t hyperTu() const { return hyperTu_; }
   bool usesBitmap() const { return useBitmap_; }
 
   /// Hyperperiods (in tu) above this are placed via the pairwise path;

@@ -144,6 +144,12 @@ struct SolveInfo {
   std::int64_t flowspanTu = 0;  // this schedule's flowspan (tu grid)
   std::int64_t flowspanLowerBoundTu = 0;
   double gapPercent = 0;
+  /// Admission-engine exports (engine == "admission", sched/admission.h):
+  /// lifetime churn counters of the engine that produced this schedule.
+  std::int64_t admissionAdmits = 0;
+  std::int64_t admissionRejects = 0;
+  std::int64_t admissionCacheHits = 0;
+  std::int64_t admissionFallbackToSmt = 0;
 };
 
 struct Schedule {

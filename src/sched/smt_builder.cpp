@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <numeric>
+#include <string>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -166,28 +167,65 @@ void ScheduleSmt::pinStreams(int n, smt::Lit guard) {
   guard_ = smt::kLitUndef;
 }
 
-void ScheduleSmt::pinStreamTo(StreamId s, const std::vector<Slot>& slots) {
-  ETSN_CHECK(s >= 0 && static_cast<std::size_t>(s) < streams_.size());
-  const ExpandedStream& es = streams_[static_cast<std::size_t>(s)];
-  std::size_t pinned = 0;
-  for (const Slot& slot : slots) {
-    if (slot.stream != s) continue;
-    ETSN_CHECK_MSG(slot.start % tu_ == 0,
-                   "pinned slot start not on the time-unit grid");
-    const smt::IntVar v = phi(s, slot.hop, slot.frameIndex);
-    const std::int64_t val = slot.start / tu_;
-    solver_->require(solver_->le(v, val));
-    solver_->require(solver_->ge(v, val));
-    ++pinned;
+void ScheduleSmt::pinStreamTo(StreamId s, const std::vector<Slot>& slots,
+                              smt::Lit guard) {
+  if (s < 0 || static_cast<std::size_t>(s) >= streams_.size()) {
+    throw ConfigError("pinStreamTo: unknown stream id");
   }
+  const ExpandedStream& es = streams_[static_cast<std::size_t>(s)];
+  // Validate coverage against the stream's *current* grid before touching
+  // the solver.  Slots extracted from an older schedule can disagree with
+  // it — the path was rerouted (a link no longer exists) or the
+  // prudent-reservation frame counts changed — and a raw phi() lookup on
+  // such a slot would index out of bounds.
+  std::vector<std::size_t> hopBase(static_cast<std::size_t>(es.hops()));
   std::size_t expected = 0;
   for (int hop = 0; hop < es.hops(); ++hop) {
+    hopBase[static_cast<std::size_t>(hop)] = expected;
     expected += static_cast<std::size_t>(
         es.framesOnLink[static_cast<std::size_t>(hop)]);
   }
-  ETSN_CHECK_MSG(pinned == expected,
-                 "pinStreamTo: slots do not cover stream '" << es.name
-                                                            << "'");
+  std::vector<char> seen(expected, 0);
+  std::size_t pinned = 0;
+  for (const Slot& slot : slots) {
+    if (slot.stream != s) continue;
+    if (slot.hop < 0 || slot.hop >= es.hops() || slot.frameIndex < 0 ||
+        slot.frameIndex >=
+            es.framesOnLink[static_cast<std::size_t>(slot.hop)]) {
+      throw ConfigError("pinStreamTo: slot (hop " + std::to_string(slot.hop) +
+                        ", frame " + std::to_string(slot.frameIndex) +
+                        ") is outside stream '" + es.name +
+                        "'s current grid — the stream's path or reservation "
+                        "changed since the slots were extracted");
+    }
+    if (slot.start % tu_ != 0) {
+      throw ConfigError("pinStreamTo: slot start of stream '" + es.name +
+                        "' is not on the time-unit grid");
+    }
+    char& mark = seen[hopBase[static_cast<std::size_t>(slot.hop)] +
+                      static_cast<std::size_t>(slot.frameIndex)];
+    if (mark) {
+      throw ConfigError("pinStreamTo: duplicate slot for stream '" + es.name +
+                        "' (hop " + std::to_string(slot.hop) + ", frame " +
+                        std::to_string(slot.frameIndex) + ")");
+    }
+    mark = 1;
+    ++pinned;
+  }
+  if (pinned != expected) {
+    throw ConfigError("pinStreamTo: slots do not cover stream '" + es.name +
+                      "' (" + std::to_string(pinned) + " of " +
+                      std::to_string(expected) + " frames pinned)");
+  }
+  guard_ = guard;
+  for (const Slot& slot : slots) {
+    if (slot.stream != s) continue;
+    const smt::IntVar v = phi(s, slot.hop, slot.frameIndex);
+    const std::int64_t val = slot.start / tu_;
+    emit(solver_->le(v, val));
+    emit(solver_->ge(v, val));
+  }
+  guard_ = smt::kLitUndef;
 }
 
 void ScheduleSmt::emitStreamLocal(const ExpandedStream& s) {

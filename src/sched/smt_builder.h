@@ -41,10 +41,18 @@ class ScheduleSmt {
   /// guarded by `guard` (freeze existing slots during admission).
   void pinStreams(int n, smt::Lit guard);
 
-  /// Pin one stream's variables to previously extracted slots
-  /// (unconditionally), so a repair solve preserves it bit-for-bit.  The
-  /// slots must cover exactly the stream's (hop, frameIndex) grid.
-  void pinStreamTo(StreamId s, const std::vector<Slot>& slots);
+  /// Pin one stream's variables to previously extracted slots so a repair
+  /// or delta solve preserves it bit-for-bit.  The slots must cover
+  /// exactly the stream's current (hop, frameIndex) grid — throws
+  /// ConfigError (never indexes out of bounds) when they don't: stale
+  /// slots extracted against a different path or an outdated
+  /// prudent-reservation grid, duplicate/out-of-range entries, or starts
+  /// off the tu grid.  With the default undefined `guard` the pins are
+  /// unconditional facts; pass a guard literal to make them retractable
+  /// (solve with the guard assumed, require(~guard) to discard — the same
+  /// idiom as addStreamGuarded).
+  void pinStreamTo(StreamId s, const std::vector<Slot>& slots,
+                   smt::Lit guard = smt::kLitUndef);
 
   /// Drop the most recently added stream (after a rejected admission).
   /// Its guarded clauses stay in the solver but are permanently disabled

@@ -1,0 +1,429 @@
+// Tests for the schedule-as-a-service admission engine (sched/admission.h).
+//
+//  * Churn traces: 100 seeded add/remove/modify/repeat sequences over
+//    randomized instances; after EVERY request the live schedule must pass
+//    sched::validate, and the engine's feasibility verdict must match a
+//    from-scratch portfolio solve over the same canonical spec list (the
+//    engine's rung-5 verdict authority, run independently here).
+//  * Rejections leave the schedule byte-identical (content hash).
+//  * Cache on vs cache off: identical verdicts and schedule hashes at
+//    every step of a trace (the cache may change *how* a decision is
+//    reached — rung "cache" — never *what* is decided).
+//  * Thread-count invariance: portfolio threads 1/2/8 give byte-identical
+//    traces.
+//  * Invalid requests (unknown node, duplicate name, unknown removal)
+//    reject with rung "invalid" and the service stays up.
+//
+// TCT specs carry explicit priorities throughout: the engine's round-robin
+// priority counters advance over its full history (removals included),
+// while a from-scratch batch expansion restarts them at zero — explicit
+// priorities keep the two expansions identical, which the oracle-parity
+// contract needs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sched/admission.h"
+#include "sched/scheduler.h"
+#include "sched/validate.h"
+#include "workload/iec60802.h"
+
+namespace etsn::sched {
+namespace {
+
+net::StreamSpec tct(const std::string& name, net::NodeId src, net::NodeId dst,
+                    TimeNs period, int payload, bool share, int priority) {
+  net::StreamSpec s;
+  s.name = name;
+  s.src = src;
+  s.dst = dst;
+  s.period = period;
+  s.maxLatency = period;
+  s.payloadBytes = payload;
+  s.share = share;
+  s.priority = priority;
+  return s;
+}
+
+SchedulerConfig config() {
+  SchedulerConfig c;
+  c.numProbabilistic = 3;
+  return c;
+}
+
+/// A randomized live instance: a small scaled topology plus a feasible
+/// base spec set (explicit priorities, see file comment).
+struct Instance {
+  net::Topology topo;
+  std::vector<net::StreamSpec> base;
+  std::vector<net::NodeId> devices;
+};
+
+Instance makeInstance(std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  const auto kind =
+      static_cast<workload::TopologyKind>(rng.uniformInt(0, 3));
+  const int switches = static_cast<int>(rng.uniformInt(2, 3));
+  inst.topo = workload::makeScaledTopology(kind, switches, 2);
+  for (int d = 0; d < 2 * switches; ++d) {
+    inst.devices.push_back(switches + d);
+  }
+  const int baseStreams = static_cast<int>(rng.uniformInt(2, 4));
+  for (int i = 0; i < baseStreams; ++i) {
+    const net::NodeId src = rng.pick(inst.devices);
+    net::NodeId dst = rng.pick(inst.devices);
+    while (dst == src) dst = rng.pick(inst.devices);
+    const TimeNs period = milliseconds(4 << rng.uniformInt(0, 2));
+    const bool share = rng.uniformInt(0, 1) == 1;
+    const int prio = static_cast<int>(share ? 4 + rng.uniformInt(0, 2)
+                                            : 1 + rng.uniformInt(0, 2));
+    inst.base.push_back(tct("base" + std::to_string(i), src, dst, period,
+                            static_cast<int>(rng.uniformInt(400, 1800)),
+                            share, prio));
+  }
+  if (seed % 2 == 0) {
+    inst.base.push_back(workload::makeEct("base_ect", inst.devices[0],
+                                          inst.devices.back(),
+                                          milliseconds(16), 200));
+  }
+  return inst;
+}
+
+/// A random candidate spec for an Add/Modify; occasionally deliberately
+/// impossible (multi-frame payload against a sub-millisecond deadline) so
+/// the trace exercises rejections too.
+net::StreamSpec randomSpec(Rng& rng, const Instance& inst,
+                           const std::string& name) {
+  const net::NodeId src = rng.pick(inst.devices);
+  net::NodeId dst = rng.pick(inst.devices);
+  while (dst == src) dst = rng.pick(inst.devices);
+  if (rng.uniformInt(0, 5) == 0) {
+    net::StreamSpec s =
+        tct(name, src, dst, microseconds(500), 4500, false, 1);
+    return s;  // ~3 frames in 500 us over >= 2 hops: never feasible
+  }
+  if (rng.uniformInt(0, 5) == 0) {
+    return workload::makeEct(name, src, dst, milliseconds(16), 200);
+  }
+  const TimeNs period = milliseconds(4 << rng.uniformInt(0, 2));
+  const bool share = rng.uniformInt(0, 1) == 1;
+  const int prio = static_cast<int>(share ? 4 + rng.uniformInt(0, 2)
+                                          : 1 + rng.uniformInt(0, 2));
+  return tct(name, src, dst, period,
+             static_cast<int>(rng.uniformInt(400, 2500)), share, prio);
+}
+
+/// Seeded request trace; identical for identical seeds so two engines can
+/// be driven in lockstep.
+std::vector<AdmissionRequest> makeTrace(Rng& rng, const Instance& inst,
+                                        int length) {
+  std::vector<AdmissionRequest> trace;
+  std::vector<std::string> liveNames;
+  for (const net::StreamSpec& s : inst.base) liveNames.push_back(s.name);
+  std::vector<std::string> retiredNames;
+  int fresh = 0;
+  for (int i = 0; i < length; ++i) {
+    const std::int64_t dice = rng.uniformInt(0, 9);
+    if (dice >= 8 && !trace.empty()) {
+      trace.push_back(trace.back());  // repeat: the cache's best customer
+      continue;
+    }
+    if (dice >= 6 && liveNames.size() > 1) {
+      const std::size_t v =
+          static_cast<std::size_t>(rng.uniformInt(
+              0, static_cast<std::int64_t>(liveNames.size()) - 1));
+      trace.push_back(removeRequest(liveNames[v]));
+      retiredNames.push_back(liveNames[v]);
+      liveNames.erase(liveNames.begin() + static_cast<std::ptrdiff_t>(v));
+      continue;
+    }
+    if (dice == 5 && !liveNames.empty()) {
+      const std::string name = rng.pick(liveNames);
+      trace.push_back(modifyRequest(randomSpec(rng, inst, name)));
+      continue;
+    }
+    if (dice == 4 && !retiredNames.empty()) {
+      const std::string name = retiredNames.back();
+      retiredNames.pop_back();
+      trace.push_back(addRequest(randomSpec(rng, inst, name)));
+      liveNames.push_back(name);
+      continue;
+    }
+    const std::string name = "churn" + std::to_string(fresh++);
+    trace.push_back(addRequest(randomSpec(rng, inst, name)));
+    liveNames.push_back(name);  // optimistic; rejection just misses later
+  }
+  return trace;
+}
+
+/// From-scratch portfolio verdict over an explicit spec list — the same
+/// engine family the admission engine's rung 5 runs, invoked through the
+/// public batch API as an independent oracle.
+bool oracleFeasible(const net::Topology& topo,
+                    const std::vector<net::StreamSpec>& specs) {
+  ScheduleOptions opt;
+  opt.engine = Engine::Portfolio;
+  opt.config = config();
+  return buildSchedule(topo, specs, opt).schedule.info.feasible;
+}
+
+void expectValid(const net::Topology& topo, const Schedule& s,
+                 std::uint64_t seed, int step) {
+  for (const auto& v : validate(topo, s)) {
+    ADD_FAILURE() << "seed " << seed << " step " << step << ": "
+                  << v.constraint << ": " << v.detail;
+  }
+}
+
+TEST(Admission, BaseScheduleMatchesBatch) {
+  const Instance inst = makeInstance(7);
+  AdmissionEngine eng(inst.topo, inst.base, config());
+  ASSERT_TRUE(eng.feasible());
+  const Schedule s = eng.schedule();
+  EXPECT_EQ(s.specs.size(), inst.base.size());
+  EXPECT_EQ(s.info.engine, "admission");
+  expectValid(inst.topo, s, 7, 0);
+  EXPECT_TRUE(oracleFeasible(inst.topo, inst.base));
+}
+
+// The headline contract: 100 random churn traces; every post-request
+// state validates, every rejection is a byte-identical no-op, and the
+// engine's verdict agrees with a from-scratch portfolio solve over the
+// canonical live spec list (plus the candidate, for adds).
+TEST(Admission, ChurnTracesValidateAndMatchOracle) {
+  int admits = 0, rejects = 0, cacheHits = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const Instance inst = makeInstance(seed);
+    AdmissionEngine eng(inst.topo, inst.base, config());
+    if (!eng.feasible()) {
+      // A randomized base set may be over-subscribed; the instance is
+      // then vacuous for churn.  Keep the corpus honest: this must agree
+      // with the oracle and stay rare enough to leave real coverage.
+      EXPECT_FALSE(oracleFeasible(inst.topo, inst.base)) << "seed " << seed;
+      continue;
+    }
+    Rng rng(seed * 977);
+    const std::vector<AdmissionRequest> trace = makeTrace(rng, inst, 8);
+    int step = 0;
+    for (const AdmissionRequest& req : trace) {
+      const std::uint64_t before = scheduleHash(eng.schedule());
+      const std::vector<net::StreamSpec> liveBefore = eng.schedule().specs;
+      const AdmissionDecision d = eng.request(req);
+      ++step;
+      (d.admitted ? admits : rejects)++;
+      cacheHits += d.fromCache ? 1 : 0;
+      const Schedule now = eng.schedule();
+      expectValid(inst.topo, now, seed, step);
+      if (!d.admitted) {
+        EXPECT_EQ(scheduleHash(now), before)
+            << "seed " << seed << " step " << step
+            << ": rejection mutated the schedule (rung " << d.rung << ")";
+      }
+      if (d.rung == "invalid" || d.fromCache) continue;
+      // Oracle parity on the solved verdict.  For a rejected Add the
+      // hypothetical spec list is the live set plus the candidate; for
+      // everything else it is the post-request live set.
+      std::vector<net::StreamSpec> specs = now.specs;
+      if (!d.admitted && req.op == AdmissionRequest::Op::Add) {
+        specs.push_back(req.spec);
+        EXPECT_FALSE(oracleFeasible(inst.topo, specs))
+            << "seed " << seed << " step " << step << ": engine rejected '"
+            << req.spec.name << "' but the portfolio solves it";
+      } else if (d.admitted) {
+        EXPECT_TRUE(oracleFeasible(inst.topo, specs))
+            << "seed " << seed << " step " << step
+            << ": engine admitted a state the portfolio cannot re-solve";
+      }
+    }
+  }
+  // The corpus must exercise all three outcomes, not degenerate.
+  EXPECT_GT(admits, 100);
+  EXPECT_GT(rejects, 20);
+  EXPECT_GT(cacheHits, 10);
+}
+
+// Cache on and cache off must produce identical verdicts and identical
+// schedule content hashes at every step — the cache changes cost, never
+// outcome.
+TEST(Admission, CacheOnOffTracesAreByteIdentical) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const Instance inst = makeInstance(seed);
+    AdmissionOptions cacheOn;
+    AdmissionOptions cacheOff;
+    cacheOff.cacheCapacity = 0;
+    AdmissionEngine on(inst.topo, inst.base, config(), cacheOn);
+    AdmissionEngine off(inst.topo, inst.base, config(), cacheOff);
+    ASSERT_EQ(on.feasible(), off.feasible()) << "seed " << seed;
+    if (!on.feasible()) continue;
+    Rng rng(seed * 1543);
+    const std::vector<AdmissionRequest> trace = makeTrace(rng, inst, 10);
+    int step = 0;
+    for (const AdmissionRequest& req : trace) {
+      const AdmissionDecision a = on.request(req);
+      const AdmissionDecision b = off.request(req);
+      ++step;
+      EXPECT_EQ(a.admitted, b.admitted)
+          << "seed " << seed << " step " << step << " (rungs " << a.rung
+          << " vs " << b.rung << ")";
+      EXPECT_FALSE(b.fromCache) << "cache-off engine reported a cache hit";
+      EXPECT_EQ(scheduleHash(on.schedule()), scheduleHash(off.schedule()))
+          << "seed " << seed << " step " << step;
+      EXPECT_EQ(on.stateHash(), off.stateHash())
+          << "seed " << seed << " step " << step;
+    }
+  }
+}
+
+// Portfolio thread counts 1/2/8 must not change any decision or hash.
+TEST(Admission, ThreadCountInvariance) {
+  for (std::uint64_t seed = 2; seed <= 10; seed += 2) {
+    const Instance inst = makeInstance(seed);
+    std::vector<std::vector<std::pair<bool, std::uint64_t>>> runs;
+    for (const int threads : {1, 2, 8}) {
+      AdmissionOptions opts;
+      opts.portfolio.threads = threads;
+      AdmissionEngine eng(inst.topo, inst.base, config(), opts);
+      std::vector<std::pair<bool, std::uint64_t>> run;
+      if (eng.feasible()) {
+        Rng rng(seed * 31);
+        for (const AdmissionRequest& req : makeTrace(rng, inst, 8)) {
+          const AdmissionDecision d = eng.request(req);
+          run.emplace_back(d.admitted, scheduleHash(eng.schedule()));
+        }
+      }
+      runs.push_back(std::move(run));
+    }
+    EXPECT_EQ(runs[0], runs[1]) << "seed " << seed << ": threads 1 vs 2";
+    EXPECT_EQ(runs[0], runs[2]) << "seed " << seed << ": threads 1 vs 8";
+  }
+}
+
+TEST(Admission, RemoveThenReAddIsServedFromCache) {
+  const Instance inst = makeInstance(3);
+  AdmissionEngine eng(inst.topo, inst.base, config());
+  ASSERT_TRUE(eng.feasible());
+  net::StreamSpec extra = tct("extra", inst.devices[0], inst.devices[1],
+                              milliseconds(8), 900, true, 5);
+  ASSERT_TRUE(eng.request(addRequest(extra)).admitted);
+  const std::uint64_t withExtra = scheduleHash(eng.schedule());
+  ASSERT_TRUE(eng.request(removeRequest("extra")).admitted);
+  const AdmissionDecision again = eng.request(addRequest(extra));
+  EXPECT_TRUE(again.admitted);
+  EXPECT_TRUE(again.fromCache);
+  EXPECT_EQ(again.rung, "cache");
+  EXPECT_EQ(scheduleHash(eng.schedule()), withExtra);
+  expectValid(inst.topo, eng.schedule(), 3, 3);
+  EXPECT_GE(eng.counters().cacheHits, 1);
+}
+
+TEST(Admission, RejectionLeavesScheduleByteIdentical) {
+  const Instance inst = makeInstance(5);
+  AdmissionEngine eng(inst.topo, inst.base, config());
+  ASSERT_TRUE(eng.feasible());
+  const std::uint64_t before = scheduleHash(eng.schedule());
+  const std::uint64_t stateBefore = eng.stateHash();
+  // 4.5 kB every 500 us over a multi-hop path cannot fit a 100 Mbps link.
+  const AdmissionDecision d = eng.request(addRequest(
+      tct("greedy", inst.devices[0], inst.devices.back(),
+          microseconds(500), 4500, false, 1)));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.movedStreams, 0);
+  EXPECT_EQ(scheduleHash(eng.schedule()), before);
+  EXPECT_EQ(eng.stateHash(), stateBefore);
+  EXPECT_EQ(eng.counters().rejects, 1);
+}
+
+TEST(Admission, InvalidRequestsRejectWithoutThrowing) {
+  const Instance inst = makeInstance(9);
+  AdmissionEngine eng(inst.topo, inst.base, config());
+  ASSERT_TRUE(eng.feasible());
+  const std::uint64_t before = eng.stateHash();
+
+  // Unknown removal.
+  AdmissionDecision d = eng.request(removeRequest("phantom"));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.rung, "invalid");
+
+  // Duplicate live name.
+  d = eng.request(addRequest(tct(inst.base[0].name, inst.devices[0],
+                                 inst.devices[1], milliseconds(4), 500,
+                                 true, 4)));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.rung, "invalid");
+
+  // Priority outside its group (constraint 6).
+  d = eng.request(addRequest(tct("badprio", inst.devices[0],
+                                 inst.devices[1], milliseconds(4), 500,
+                                 /*share=*/true, /*priority=*/1)));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.rung, "invalid");
+
+  EXPECT_EQ(eng.stateHash(), before);
+  EXPECT_TRUE(eng.feasible());
+  expectValid(inst.topo, eng.schedule(), 9, 3);
+}
+
+TEST(Admission, ModifyReplacesSpecAtomically) {
+  const Instance inst = makeInstance(11);
+  AdmissionEngine eng(inst.topo, inst.base, config());
+  ASSERT_TRUE(eng.feasible());
+  net::StreamSpec grown = inst.base[0];
+  grown.payloadBytes += 300;
+  const AdmissionDecision d = eng.request(modifyRequest(grown));
+  if (d.admitted) {
+    const Schedule s = eng.schedule();
+    bool found = false;
+    for (const net::StreamSpec& sp : s.specs) {
+      if (sp.name == grown.name) {
+        EXPECT_EQ(sp.payloadBytes, grown.payloadBytes);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+    expectValid(inst.topo, s, 11, 1);
+  } else {
+    // A rejected modify must keep the original spec live and untouched.
+    const Schedule s = eng.schedule();
+    EXPECT_EQ(s.specs.size(), inst.base.size());
+    expectValid(inst.topo, s, 11, 1);
+  }
+}
+
+TEST(Admission, BatchMatchesSequential) {
+  const Instance inst = makeInstance(13);
+  Rng rng(13 * 101);
+  const std::vector<AdmissionRequest> trace = makeTrace(rng, inst, 6);
+  AdmissionEngine seq(inst.topo, inst.base, config());
+  AdmissionEngine bat(inst.topo, inst.base, config());
+  ASSERT_EQ(seq.feasible(), bat.feasible());
+  if (!seq.feasible()) GTEST_SKIP() << "instance 13 base infeasible";
+  std::vector<AdmissionDecision> one;
+  for (const AdmissionRequest& req : trace) one.push_back(seq.request(req));
+  const std::vector<AdmissionDecision> two = bat.requestBatch(trace);
+  ASSERT_EQ(one.size(), two.size());
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].admitted, two[i].admitted) << "request " << i;
+    EXPECT_EQ(one[i].rung, two[i].rung) << "request " << i;
+  }
+  EXPECT_EQ(scheduleHash(seq.schedule()), scheduleHash(bat.schedule()));
+}
+
+TEST(Admission, CountersAreConsistent) {
+  const Instance inst = makeInstance(17);
+  AdmissionEngine eng(inst.topo, inst.base, config());
+  ASSERT_TRUE(eng.feasible());
+  Rng rng(17 * 7);
+  const std::vector<AdmissionRequest> trace = makeTrace(rng, inst, 12);
+  for (const AdmissionRequest& req : trace) eng.request(req);
+  const AdmissionCounters& c = eng.counters();
+  EXPECT_EQ(c.requests, static_cast<std::int64_t>(trace.size()));
+  EXPECT_EQ(c.admits + c.rejects, c.requests);
+  EXPECT_EQ(c.cacheHits + c.cacheMisses, c.requests);
+  EXPECT_GE(c.deltaSolves + c.fallbackToSmt + c.fullResolves, 0);
+}
+
+}  // namespace
+}  // namespace etsn::sched

@@ -270,5 +270,133 @@ TEST(RepairLinkDown, RepairedScheduleAcceptsFurtherAdmissions) {
   EXPECT_TRUE(repair.droppedSpecs.empty());
 }
 
+TEST(RepairLinksDown, MultiLinkFailureReroutesAndDrops) {
+  const net::Topology t = ringTopology();
+  std::vector<net::StreamSpec> specs = {
+      tct("telemetry", 0, 2, milliseconds(4), 1000),   // D1 -> D3 via SW1-SW2
+      tct("to-d4", 1, 3, milliseconds(4), 500)};       // D2 -> D4
+  ScheduleOptions options;
+  options.config = config();
+  const MethodSchedule base = buildSchedule(t, specs, options);
+  ASSERT_TRUE(base.schedule.info.feasible);
+
+  // Cut both trunks into SW3: D4 is stranded, the SW1-SW2 path survives.
+  const std::vector<net::LinkId> cut = {t.linkBetween(4, 6),
+                                        t.linkBetween(5, 6)};
+  const LinkDownRepair repair = repairLinksDown(t, base.schedule, cut);
+  ASSERT_TRUE(repair.schedule.info.feasible);
+  EXPECT_TRUE(validate(t, repair.schedule).empty());
+  ASSERT_EQ(repair.droppedSpecs.size(), 1u);
+  EXPECT_EQ(repair.droppedSpecs[0], 1);
+  ASSERT_EQ(repair.schedule.specToStreams[0].size(), 1u);
+  // The survivor's repaired path avoids every cut cable, both directions.
+  for (const ExpandedStream& st : repair.schedule.streams) {
+    for (const net::LinkId l : st.path) {
+      for (const net::LinkId c : cut) {
+        EXPECT_NE(l, c);
+        EXPECT_NE(l, t.link(c).reverse);
+      }
+    }
+  }
+}
+
+TEST(RepairLinksDown, UnknownFailedLinkThrows) {
+  const net::Topology t = ringTopology();
+  std::vector<net::StreamSpec> specs = {tct("a", 0, 2, milliseconds(4), 1000)};
+  ScheduleOptions options;
+  options.config = config();
+  const MethodSchedule base = buildSchedule(t, specs, options);
+  ASSERT_TRUE(base.schedule.info.feasible);
+  EXPECT_THROW(repairLinkDown(t, base.schedule,
+                              static_cast<net::LinkId>(t.numLinks())),
+               ConfigError);
+}
+
+TEST(RepairLinksDown, ScheduleReferencingMissingLinkThrows) {
+  // A schedule solved against the ring must not be repaired against a
+  // smaller topology whose link-id space doesn't contain its paths: the
+  // pinned streams would reference links that no longer exist.
+  const net::Topology ring = ringTopology();
+  std::vector<net::StreamSpec> specs = {
+      tct("a", 0, 3, milliseconds(4), 1000)};  // D1 -> D4, uses high link ids
+  ScheduleOptions options;
+  options.config = config();
+  const MethodSchedule base = buildSchedule(ring, specs, options);
+  ASSERT_TRUE(base.schedule.info.feasible);
+
+  net::Topology tiny;
+  const net::NodeId d = tiny.addDevice("D");
+  const net::NodeId s = tiny.addSwitch("SW");
+  tiny.connect(d, s);
+  EXPECT_THROW(
+      repairLinkDown(tiny, base.schedule, static_cast<net::LinkId>(0)),
+      ConfigError);
+}
+
+// pinStreamTo contract: stale slots must be rejected with ConfigError —
+// never silently mis-pinned or read out of bounds (see smt_builder.h).
+
+MethodSchedule singleStreamBase(const net::Topology& t) {
+  ScheduleOptions options;
+  options.config = config();
+  return buildSchedule(t, {tct("t1", 0, 2, milliseconds(4), 1000)}, options);
+}
+
+TEST(PinStreamTo, UnknownStreamIdThrows) {
+  const net::Topology t = net::makeTestbedTopology();
+  const MethodSchedule base = singleStreamBase(t);
+  ASSERT_TRUE(base.schedule.info.feasible);
+  ScheduleSmt smt(t, base.schedule.streams, config());
+  smt.buildConstraints();
+  EXPECT_THROW(smt.pinStreamTo(5, base.schedule.slots), ConfigError);
+}
+
+TEST(PinStreamTo, StaleReservationGridThrows) {
+  const net::Topology t = net::makeTestbedTopology();
+  const MethodSchedule base = singleStreamBase(t);
+  ASSERT_TRUE(base.schedule.info.feasible);
+  // The stream's grid grew by one prudent frame (as an ECT reroute would
+  // cause) after the slots were extracted: incomplete coverage, throw.
+  std::vector<ExpandedStream> grown = base.schedule.streams;
+  grown[0].framesOnLink[1] += 1;
+  ScheduleSmt smt(t, grown, config());
+  smt.buildConstraints();
+  EXPECT_THROW(smt.pinStreamTo(0, base.schedule.slots), ConfigError);
+}
+
+TEST(PinStreamTo, SlotOffTheGridThrows) {
+  const net::Topology t = net::makeTestbedTopology();
+  const MethodSchedule base = singleStreamBase(t);
+  ASSERT_TRUE(base.schedule.info.feasible);
+  ScheduleSmt smt(t, base.schedule.streams, config());
+  smt.buildConstraints();
+  // A slot whose hop points past the stream's (shrunken) path — e.g.
+  // extracted before a reroute onto a shorter path.
+  std::vector<Slot> stale = base.schedule.slots;
+  stale.front().hop = 99;
+  EXPECT_THROW(smt.pinStreamTo(0, stale), ConfigError);
+  std::vector<Slot> dup = base.schedule.slots;
+  dup.push_back(dup.front());
+  EXPECT_THROW(smt.pinStreamTo(0, dup), ConfigError);
+}
+
+TEST(PinStreamTo, GuardedPinIsRetractable) {
+  const net::Topology t = net::makeTestbedTopology();
+  const MethodSchedule base = singleStreamBase(t);
+  ASSERT_TRUE(base.schedule.info.feasible);
+  ScheduleSmt smt(t, base.schedule.streams, config());
+  smt.buildConstraints();
+  // Pin every slot one period late — outside family (1)'s bounds, so the
+  // guarded pin is unsatisfiable; retracting the guard restores Sat.
+  std::vector<Slot> shifted = base.schedule.slots;
+  for (Slot& s : shifted) s.start += base.schedule.streams[0].period;
+  const smt::Lit g = smt.solver().boolVar();
+  smt.pinStreamTo(0, shifted, g);
+  const std::vector<smt::Lit> assume = {g};
+  EXPECT_EQ(smt.solver().solve(assume), smt::Result::Unsat);
+  smt.solver().require(~g);
+  EXPECT_EQ(smt.solver().solve(), smt::Result::Sat);
+}
+
 }  // namespace
 }  // namespace etsn::sched
