@@ -474,7 +474,13 @@ std::vector<ExpandedStream> AdmissionEngine::expandSpec(
   } else {
     const int n = config_.numProbabilistic;
     const TimeNs stagger = spec.period / n;
-    ETSN_CHECK_MSG(stagger > 0, "min interevent too small for N");
+    if (stagger <= 0) {
+      // Input-derived, so ConfigError (not an invariant): request() turns
+      // it into an "invalid" rejection after rolling the txn back.
+      throw ConfigError("stream '" + spec.name +
+                        "': min interevent time smaller than "
+                        "numProbabilistic (T/N == 0)");
+    }
     const TimeNs tightened = spec.maxLatency - stagger;
     if (tightened <= 0) {
       throw ConfigError(
@@ -634,7 +640,7 @@ bool AdmissionEngine::placeLadder(Txn& txn, std::vector<StreamId> slice,
                                   std::string* rung) {
   if (slice.empty()) {
     *rung = "delta";
-    ++counters_.deltaSolves;
+    txn.usedDelta = true;
     return true;
   }
   for (const int budget : opts_.ripupBudgets) {
@@ -648,7 +654,7 @@ bool AdmissionEngine::placeLadder(Txn& txn, std::vector<StreamId> slice,
         }
       }
       *rung = ripped ? "ripup" : "delta";
-      ++counters_.deltaSolves;
+      txn.usedDelta = true;
       return true;
     }
   }
@@ -657,7 +663,6 @@ bool AdmissionEngine::placeLadder(Txn& txn, std::vector<StreamId> slice,
 
 bool AdmissionEngine::trySmt(Txn& txn, const std::vector<StreamId>& newIds) {
   txn.touchedSmt = true;
-  ++counters_.fallbackToSmt;
   const TimeNs tu = placement_->tu();
   auto pinsFor = [&](StreamId engineId, StreamId modelId) {
     const ExpandedStream& s = streams_[static_cast<std::size_t>(engineId)];
@@ -764,7 +769,7 @@ bool AdmissionEngine::trySmt(Txn& txn, const std::vector<StreamId>& newIds) {
 }
 
 bool AdmissionEngine::tryFullResolve(Txn& txn) {
-  ++counters_.fullResolves;
+  txn.usedResolve = true;
   // Canonical compacted instance: live specs in admission order, streams
   // renumbered contiguously — exactly what a from-scratch solve over the
   // live specs would see, so the verdict matches the offline oracle.
@@ -787,10 +792,6 @@ bool AdmissionEngine::tryFullResolve(Txn& txn) {
                                          opts_.portfolio);
   if (!r.feasible) return false;
 
-  // Commit point: wholesale re-place (bypasses the op log — the caller
-  // must not roll back past a successful full re-solve).
-  (void)txn;
-  placement_ = std::make_unique<Placement>(topo_, streams_, config_);
   const TimeNs tu = placement_->tu();
   std::vector<std::vector<std::vector<std::int64_t>>> starts(compact.size());
   for (std::size_t i = 0; i < compact.size(); ++i) {
@@ -804,12 +805,17 @@ bool AdmissionEngine::tryFullResolve(Txn& txn) {
     starts[static_cast<std::size_t>(sl.stream)][static_cast<std::size_t>(
         sl.hop)][static_cast<std::size_t>(sl.frameIndex)] = sl.start / tu;
   }
-  for (std::size_t i = 0; i < compact.size(); ++i) {
-    placement_->placeAt(toEngine[i], starts[i]);
+  // Wholesale re-place, through the op log: rip every placed stream, then
+  // pin every live stream at the solved offsets.  Logging the re-solve
+  // keeps two contracts the cheap rungs already have: the caller can roll
+  // the whole transaction back (a Modify whose add phase is rejected
+  // after its remove phase escalated here), and the cache's delta
+  // collection sees every slot this rung moved.
+  for (StreamId id = 0; id < placement_->trackedStreams(); ++id) {
+    if (placement_->isPlaced(id)) doRip(txn, id);
   }
-  stateHash_ = 0;
-  for (std::size_t i = 0; i < streams_.size(); ++i) {
-    if (liveStream_[i]) stateHash_ ^= streamStateHash(static_cast<StreamId>(i));
+  for (std::size_t i = 0; i < compact.size(); ++i) {
+    doPlaceAt(txn, toEngine[i], starts[i]);
   }
   return true;
 }
@@ -1041,6 +1047,13 @@ void AdmissionEngine::cacheStore(std::uint64_t key, CacheEntry entry) {
   }
 }
 
+void AdmissionEngine::cacheDrop(std::uint64_t key) {
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) return;
+  lru_.erase(it->second.lruIt);
+  cache_.erase(it);
+}
+
 StreamId AdmissionEngine::deltaTarget(const StreamDelta& d) const {
   const auto it = liveByName_.find(d.spec);
   ETSN_CHECK_MSG(it != liveByName_.end(),
@@ -1050,18 +1063,30 @@ StreamId AdmissionEngine::deltaTarget(const StreamDelta& d) const {
   return e.streams[static_cast<std::size_t>(d.idx)];
 }
 
-AdmissionDecision AdmissionEngine::replay(const AdmissionRequest& req,
-                                          const CacheEntry& entry) {
+bool AdmissionEngine::replay(const AdmissionRequest& req,
+                             const CacheEntry& entry,
+                             AdmissionDecision* out) {
   AdmissionDecision d;
   d.fromCache = true;
   d.rung = "cache";
   d.detail = entry.detail;
   d.admitted = entry.admitted;
   d.movedStreams = entry.movedStreams;
-  if (!entry.admitted) return d;  // rejection: state untouched, by contract
+  if (!entry.admitted) {  // rejection: state untouched, by contract
+    *out = d;
+    return true;
+  }
 
-  Txn txn;  // op log for hash maintenance; never rolled back
+  // The replay mutates through the same op log as a live decision, so a
+  // divergence (a 64-bit collision that survived cacheLookup's triple
+  // check) unwinds to the pre-request state instead of corrupting the
+  // engine; the caller drops the entry and decides live.
+  Txn txn;
   txn.stateHash = stateHash_;
+  txn.sharedRr = sharedRr_;
+  txn.nonSharedRr = nonSharedRr_;
+  txn.liveSpecs = liveSpecs_;
+  txn.liveStreams = liveStreams_;
   auto replayRemove = [&](const std::string& name) {
     const int specIdx = liveByName_.at(name);
     const SpecEntry& e = specs_[static_cast<std::size_t>(specIdx)];
@@ -1093,37 +1118,58 @@ AdmissionDecision AdmissionEngine::replay(const AdmissionRequest& req,
       placement_->syncAppendedStreams();
     }
   };
-  switch (req.op) {
-    case AdmissionRequest::Op::Add:
-      replayAdd(req.spec);
-      break;
-    case AdmissionRequest::Op::Remove:
-      replayRemove(req.name.empty() ? req.spec.name : req.name);
-      break;
-    case AdmissionRequest::Op::Modify:
-      replayRemove(req.name.empty() ? req.spec.name : req.name);
-      replayAdd(req.spec);
-      break;
-  }
-  // Apply the recorded placement deltas: rip everything first so no
-  // transient state ever has two streams marked over the same slots.
-  for (const StreamDelta& delta : entry.deltas) {
-    const StreamId sid = deltaTarget(delta);
-    if (placement_->isPlaced(sid)) doRip(txn, sid);
-  }
-  for (const StreamDelta& delta : entry.deltas) {
-    const StreamId sid = deltaTarget(delta);
-    if (streams_[static_cast<std::size_t>(sid)].framesOnLink != delta.frames) {
-      doSetFrames(txn, sid, delta.frames);
+  try {
+    switch (req.op) {
+      case AdmissionRequest::Op::Add:
+        replayAdd(req.spec);
+        break;
+      case AdmissionRequest::Op::Remove:
+        replayRemove(req.name.empty() ? req.spec.name : req.name);
+        break;
+      case AdmissionRequest::Op::Modify:
+        replayRemove(req.name.empty() ? req.spec.name : req.name);
+        replayAdd(req.spec);
+        break;
     }
+    // Apply the recorded placement deltas: rip everything first so no
+    // transient state ever has two streams marked over the same slots.
+    for (const StreamDelta& delta : entry.deltas) {
+      const StreamId sid = deltaTarget(delta);
+      if (placement_->isPlaced(sid)) doRip(txn, sid);
+    }
+    for (const StreamDelta& delta : entry.deltas) {
+      const StreamId sid = deltaTarget(delta);
+      if (streams_[static_cast<std::size_t>(sid)].framesOnLink !=
+          delta.frames) {
+        doSetFrames(txn, sid, delta.frames);
+      }
+    }
+    for (const StreamDelta& delta : entry.deltas) {
+      const StreamId sid = deltaTarget(delta);
+      // Shape check before the trusting placeAt: a mismatched delta must
+      // unwind cleanly, not trip an invariant mid-mutation.
+      const ExpandedStream& s = streams_[static_cast<std::size_t>(sid)];
+      if (delta.starts.size() != s.path.size()) throw InvariantError(
+          "cache replay: delta hop count does not match the stream");
+      for (std::size_t hop = 0; hop < delta.starts.size(); ++hop) {
+        if (delta.starts[hop].size() !=
+            static_cast<std::size_t>(s.framesOnLink[hop])) {
+          throw InvariantError(
+              "cache replay: delta frame count does not match the grid");
+        }
+      }
+      doPlaceAt(txn, sid, delta.starts);
+    }
+    if (stateHash() != entry.postStateHash) {
+      rollback(txn);
+      return false;
+    }
+  } catch (...) {
+    rollback(txn);
+    return false;
   }
-  for (const StreamDelta& delta : entry.deltas) {
-    doPlaceAt(txn, deltaTarget(delta), delta.starts);
-  }
-  ETSN_CHECK_MSG(stateHash() == entry.postStateHash,
-                 "sub-schedule cache replay diverged from the recorded "
-                 "post-state");
-  return d;
+  *out = d;
+  return true;
 }
 
 // --- public entry points ---------------------------------------------------
@@ -1150,9 +1196,15 @@ AdmissionDecision AdmissionEngine::request(const AdmissionRequest& req) {
   bool decided = false;
   if (opts_.cacheCapacity > 0) {
     if (const CacheEntry* e = cacheLookup(key, reqHash)) {
-      ++counters_.cacheHits;
-      d = replay(req, *e);
-      decided = true;
+      if (replay(req, *e, &d)) {
+        ++counters_.cacheHits;
+        decided = true;
+      } else {
+        // Divergent replay: the unwind left no trace; drop the bad entry
+        // and decide live (same verdict a cache-off run would reach).
+        cacheDrop(key);
+        ++counters_.cacheMisses;
+      }
     } else {
       ++counters_.cacheMisses;
     }
@@ -1168,10 +1220,23 @@ AdmissionDecision AdmissionEngine::request(const AdmissionRequest& req) {
     try {
       d = decide(req, txn);
     } catch (const ConfigError& err) {
+      // Input-derived: reject as "invalid"; the rollback below restores
+      // whatever the partial transaction already changed.
       d = AdmissionDecision{};
       d.rung = "invalid";
       d.detail = err.what();
+    } catch (...) {
+      // Anything else is an internal invariant failure — surface it, but
+      // never with a half-applied transaction behind it: unwind first so
+      // the engine's state stays consistent for the caller.
+      rollback(txn);
+      throw;
     }
+    // Rung usage is counted once per request: a Modify runs the ladder
+    // for both of its phases, but that is still one delta-solved request.
+    if (txn.usedDelta) ++counters_.deltaSolves;
+    if (txn.touchedSmt) ++counters_.fallbackToSmt;
+    if (txn.usedResolve) ++counters_.fullResolves;
     if (!d.admitted) rollback(txn);
 
     // Cacheability: never a transition that invoked the warm SMT solver

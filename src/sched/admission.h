@@ -23,7 +23,10 @@
 //     this rung are still zero-disruption.
 //  5. full re-solve — the portfolio scheduler on the canonical live
 //     stream set; the verdict authority for rejections (identical to a
-//     from-scratch solve over the same specs), at baseline cost.
+//     from-scratch solve over the same specs), at baseline cost.  Commits
+//     through the op log like every other rung, so even a transaction
+//     whose earlier phase re-solved wholesale (a Modify) unwinds exactly
+//     on rejection.
 //
 // Determinism contract: every decision on rungs 1-3 and 5 is a pure
 // function of the canonical engine state (stream contents + placements,
@@ -112,7 +115,11 @@ struct AdmissionCounters {
   std::int64_t cacheHits = 0;
   std::int64_t cacheMisses = 0;
   std::int64_t cacheEvictions = 0;
-  /// Decisions made on the delta/rip-up rungs (placement only).
+  /// Rung-usage counters, each incremented at most once per request (a
+  /// Modify that runs the ladder for both its phases is still one
+  /// delta-solved request; a request can contribute to several counters
+  /// if it escalated through several rungs).
+  /// Requests with at least one phase decided on the delta/rip-up rungs.
   std::int64_t deltaSolves = 0;
   /// Requests that escalated into the warm SMT rung.
   std::int64_t fallbackToSmt = 0;
@@ -193,6 +200,9 @@ class AdmissionEngine {
     int sharedRr = 0, nonSharedRr = 0;
     int liveSpecs = 0, liveStreams = 0;
     bool touchedSmt = false;
+    // Rung-usage flags, folded into the counters once per request.
+    bool usedDelta = false;
+    bool usedResolve = false;
   };
   struct StreamDelta {
     /// Stream identity that survives id remapping: the owning spec's name
@@ -254,8 +264,13 @@ class AdmissionEngine {
   std::uint64_t requestHashOf(const AdmissionRequest& req) const;
   const CacheEntry* cacheLookup(std::uint64_t key, std::uint64_t reqHash);
   void cacheStore(std::uint64_t key, CacheEntry entry);
-  AdmissionDecision replay(const AdmissionRequest& req,
-                           const CacheEntry& entry);
+  void cacheDrop(std::uint64_t key);
+  /// Replays a cache entry on the op log.  Returns false (state restored
+  /// to the pre-request bits, decision untouched) if the replay diverges
+  /// from the recorded post-state — the caller drops the entry and
+  /// decides live instead.
+  bool replay(const AdmissionRequest& req, const CacheEntry& entry,
+              AdmissionDecision* out);
   StreamId deltaTarget(const StreamDelta& d) const;
 
   const net::Topology& topo_;

@@ -366,6 +366,93 @@ TEST(Admission, InvalidRequestsRejectWithoutThrowing) {
   expectValid(inst.topo, eng.schedule(), 9, 3);
 }
 
+// Regression: an ECT whose min interevent time is smaller than
+// numProbabilistic only fails inside expandSpec (T/N == 0), *after* the
+// spec entry has already been transacted.  The request must come back as
+// an "invalid" rejection with the transaction fully unwound — not escape
+// as an exception with half the state mutated.
+TEST(Admission, EctPeriodTooSmallForNRejectsInvalid) {
+  const Instance inst = makeInstance(9);
+  AdmissionEngine eng(inst.topo, inst.base, config());
+  ASSERT_TRUE(eng.feasible());
+  const std::uint64_t before = eng.stateHash();
+  const AdmissionDecision d = eng.request(addRequest(workload::makeEct(
+      "tiny", inst.devices[0], inst.devices[1], /*minInterevent=*/2, 200)));
+  EXPECT_FALSE(d.admitted);
+  EXPECT_EQ(d.rung, "invalid");
+  EXPECT_EQ(eng.stateHash(), before);
+  // The service is still up and consistent: a valid add goes through and
+  // the resulting schedule validates.
+  const AdmissionDecision ok = eng.request(addRequest(
+      tct("after", inst.devices[0], inst.devices[1], milliseconds(8), 500,
+          true, 4)));
+  EXPECT_TRUE(ok.admitted);
+  expectValid(inst.topo, eng.schedule(), 9, 2);
+}
+
+// Regression: with the rip-up ladder weakened to a single zero-budget
+// attempt and the SMT rung disabled, non-trivial decisions escalate into
+// the full re-solve rung, which commits through the op log.  Rejections
+// (including Modifies whose remove phase already re-solved) must unwind
+// to the byte-identical pre-request state, and cached re-solve
+// transitions must replay to the exact recorded post-state (parity with
+// a cache-off engine at every step).
+TEST(Admission, WeakLadderEscalationStaysTransactional) {
+  std::int64_t resolves = 0;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const Instance inst = makeInstance(seed);
+    AdmissionOptions weak;
+    weak.ripupBudgets = {0};
+    weak.smtMaxStreams = 0;
+    AdmissionOptions weakOff = weak;
+    weakOff.cacheCapacity = 0;
+    AdmissionEngine on(inst.topo, inst.base, config(), weak);
+    AdmissionEngine off(inst.topo, inst.base, config(), weakOff);
+    ASSERT_EQ(on.feasible(), off.feasible()) << "seed " << seed;
+    if (!on.feasible()) continue;
+    Rng rng(seed * 7919);
+    int step = 0;
+    for (const AdmissionRequest& req : makeTrace(rng, inst, 10)) {
+      const std::uint64_t before = on.stateHash();
+      const AdmissionDecision a = on.request(req);
+      const AdmissionDecision b = off.request(req);
+      ++step;
+      EXPECT_EQ(a.admitted, b.admitted)
+          << "seed " << seed << " step " << step << " (rungs " << a.rung
+          << " vs " << b.rung << ")";
+      if (!a.admitted) {
+        EXPECT_EQ(on.stateHash(), before)
+            << "seed " << seed << " step " << step << ": rejection on rung "
+            << a.rung << " mutated the schedule";
+      }
+      EXPECT_EQ(on.stateHash(), off.stateHash())
+          << "seed " << seed << " step " << step;
+      expectValid(inst.topo, on.schedule(), seed, step);
+    }
+    resolves += on.counters().fullResolves;
+  }
+  EXPECT_GT(resolves, 0) << "corpus never exercised the re-solve rung";
+}
+
+// Regression: rung-usage counters move at most once per request — a
+// Modify runs the placement ladder for both of its phases but is still
+// one delta-solved request.
+TEST(Admission, RungCountersIncrementOncePerRequest) {
+  const Instance inst = makeInstance(7);
+  AdmissionEngine eng(inst.topo, inst.base, config());
+  ASSERT_TRUE(eng.feasible());
+  net::StreamSpec grown = inst.base[0];
+  grown.payloadBytes += 100;
+  const AdmissionCounters snap = eng.counters();
+  ASSERT_TRUE(eng.request(modifyRequest(grown)).admitted);
+  const AdmissionCounters& c = eng.counters();
+  EXPECT_LE(c.deltaSolves, snap.deltaSolves + 1);
+  EXPECT_LE(c.fallbackToSmt, snap.fallbackToSmt + 1);
+  EXPECT_LE(c.fullResolves, snap.fullResolves + 1);
+  EXPECT_GE(c.deltaSolves + c.fallbackToSmt + c.fullResolves,
+            snap.deltaSolves + snap.fallbackToSmt + snap.fullResolves + 1);
+}
+
 TEST(Admission, ModifyReplacesSpecAtomically) {
   const Instance inst = makeInstance(11);
   AdmissionEngine eng(inst.topo, inst.base, config());
