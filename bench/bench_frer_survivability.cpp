@@ -98,8 +98,11 @@ void addFault(Experiment& ex, const char* fault, const bench::Args& args) {
     ex.simConfig.faults.losses.push_back(loss);
   } else if (!std::strcmp(fault, "syncout")) {
     ex.simConfig.clockDriftPpbMax = 500;
-    sim::SyncOutage so;  // every node coasts on drift for a quarter run
-    so.node = net::kNoNode;
+    // The grandmaster-side spine switch (A1) loses sync for a quarter
+    // run and coasts on drift — the realistic failure is one node's sync
+    // path dying, not the whole plant's.  Everyone else stays corrected.
+    sim::SyncOutage so;
+    so.nodes = {2};  // A1
     so.start = args.duration / 4;
     so.stop = args.duration / 2;
     ex.simConfig.faults.syncOutages.push_back(so);

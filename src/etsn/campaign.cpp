@@ -207,6 +207,25 @@ std::string toJson(const CampaignResult& r, bool includeSamples,
       appendKv(out, "admission_fallback_to_smt",
                t.result.solve.admissionFallbackToSmt);
     }
+    if (t.result.gptp.enabled) {
+      // Cells that ran the faithful gPTP stack report the emergent sync
+      // quality, including the named warning counter for schedules whose
+      // configured syncErrorMargin the measured offsets broke.
+      const GptpResult& g = t.result.gptp;
+      appendKv(out, "gptp_grandmaster",
+               static_cast<std::int64_t>(g.grandmaster));
+      appendKv(out, "gptp_max_offset_ns", g.maxOffsetError);
+      appendKv(out, "gptp_max_holdover_ns", g.maxHoldoverExcursion);
+      appendKv(out, "gptp_max_reelection_ns", g.maxReelectionTimeNs);
+      appendKv(out, "gptp_reelections",
+               static_cast<std::int64_t>(g.reelections));
+      appendKv(out, "gptp_frames_sent", g.framesSent);
+      appendKv(out, "gptp_frames_delivered", g.framesDelivered);
+      appendKv(out, "gptp_frames_dropped", g.framesDropped);
+      appendKv(out, "gptp_frames_in_flight", g.framesInFlight);
+      appendKv(out, "sync_margin_violations",
+               static_cast<std::int64_t>(g.syncMarginViolations));
+    }
     if (includeTiming) {
       appendKv(out, "wall_seconds", t.wallSeconds);
       appendKv(out, "solve_seconds", t.result.solve.solveSeconds);

@@ -1,5 +1,8 @@
 #include "etsn/etsn.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/check.h"
 #include "sched/validate.h"
 
@@ -133,6 +136,58 @@ ExperimentResult runExperiment(const Experiment& ex) {
       r.deliveryRatio = sr.deliveryRatio();
     }
     out.streams.push_back(std::move(r));
+  }
+
+  if (const sim::Gptp* g = network.gptp()) {
+    out.gptp.enabled = true;
+    const sim::GptpStats& gs = g->stats();
+    out.gptp.reelections = gs.reelections;
+    out.gptp.framesSent = gs.framesSent;
+    out.gptp.framesDelivered = gs.framesDelivered;
+    out.gptp.framesDropped = gs.framesDropped;
+    out.gptp.framesInFlight = gs.framesInFlight;
+    // The margin the schedule budgeted vs the offsets the network showed.
+    const TimeNs margin = ms.schedule.config.syncErrorMargin;
+    std::vector<std::pair<std::uint64_t, int>> followers;
+    for (net::NodeId n = 0; n < ex.topo.numNodes(); ++n) {
+      const sim::GptpNodeStats& ns = g->nodeStats(n);
+      GptpNodeResult nr;
+      nr.node = ex.topo.node(n).name;
+      nr.master = ns.master;
+      nr.corrections = ns.corrections;
+      nr.maxOffsetError = ns.maxOffsetError;
+      nr.holdoverExcursion = ns.holdoverExcursion;
+      nr.reelectionTimeNs = ns.reelectionTimeNs;
+      nr.reelections = ns.reelections;
+      out.gptp.nodes.push_back(std::move(nr));
+
+      const TimeNs worst = std::max(ns.maxOffsetError, ns.holdoverExcursion);
+      out.gptp.maxOffsetError = std::max(out.gptp.maxOffsetError, worst);
+      out.gptp.maxHoldoverExcursion =
+          std::max(out.gptp.maxHoldoverExcursion, ns.holdoverExcursion);
+      out.gptp.maxReelectionTimeNs =
+          std::max(out.gptp.maxReelectionTimeNs, ns.reelectionTimeNs);
+      if (worst > margin) out.gptp.syncMarginViolations++;
+      bool found = false;
+      for (auto& [id, count] : followers) {
+        if (id == ns.master) {
+          ++count;
+          found = true;
+        }
+      }
+      if (!found) followers.push_back({ns.master, 1});
+    }
+    if (!followers.empty()) {
+      // Majority identity (smallest id on ties): a killed grandmaster
+      // keeps following itself, so "the" grandmaster is the consensus.
+      const auto best = std::max_element(
+          followers.begin(), followers.end(),
+          [](const auto& a, const auto& b) {
+            return a.second != b.second ? a.second < b.second
+                                        : a.first > b.first;
+          });
+      out.gptp.grandmaster = best->first;
+    }
   }
   return out;
 }

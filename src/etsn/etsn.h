@@ -92,11 +92,43 @@ struct StreamResult {
   double deliveryRatio = 1.0;
 };
 
+/// Per-node sync quality when the faithful gPTP stack ran (sim/gptp.h).
+struct GptpNodeResult {
+  std::string node;  // topology node name
+  std::uint64_t master = 0;  // grandmaster identity followed at run end
+  std::int64_t corrections = 0;
+  TimeNs maxOffsetError = 0;
+  TimeNs holdoverExcursion = 0;
+  TimeNs reelectionTimeNs = 0;
+  int reelections = 0;
+};
+
+/// Network-wide gPTP summary; `enabled` is false (and everything zero)
+/// unless Experiment::simConfig.gptp.enabled.
+struct GptpResult {
+  bool enabled = false;
+  std::uint64_t grandmaster = 0;  // identity most nodes follow at run end
+  TimeNs maxOffsetError = 0;       // worst emergent per-node offset
+  TimeNs maxHoldoverExcursion = 0;
+  TimeNs maxReelectionTimeNs = 0;
+  int reelections = 0;
+  std::int64_t framesSent = 0;
+  std::int64_t framesDelivered = 0;
+  std::int64_t framesDropped = 0;
+  std::int64_t framesInFlight = 0;
+  /// Nodes whose observed worst offset (steady-state or post-failover
+  /// holdover excursion) exceeded the schedule's syncErrorMargin — the
+  /// margin was an act of faith the measured network did not honor.
+  int syncMarginViolations = 0;
+  std::vector<GptpNodeResult> nodes;  // aligned with topology node ids
+};
+
 struct ExperimentResult {
   bool feasible = false;
   sched::SolveInfo solve;
   sched::Method method = sched::Method::ETSN;
   std::vector<StreamResult> streams;  // aligned with Experiment::specs
+  GptpResult gptp;
 
   const StreamResult& byName(const std::string& name) const;
 };

@@ -27,14 +27,24 @@ class Clock {
   }
 
   /// Global time at which the clock will show `local` (inverse mapping).
+  /// Returns the smallest g with localTime(g) >= local, so the round trip
+  /// globalTimeFor(localTime(t)) == t holds exactly wherever localTime is
+  /// injective (truncation makes a drifting clock repeat or skip one local
+  /// value every 1/|drift| ns; at a repeat the smaller preimage wins).
   TimeNs globalTimeFor(TimeNs local) const {
-    // Solve local(g) = local for g; drift is tiny so one Newton step on the
-    // linear model is exact up to integer rounding.
+    // Seed with one Newton step on the linear model, then refine in exact
+    // integer arithmetic: the double seed is within a few ns of the root,
+    // and localTime is monotone, so walking the residual to zero and
+    // taking the left edge of any plateau terminates in a handful of
+    // steps even at +/-200 ppm and hour-scale t.
     const double denom = 1.0 + driftPpb_ * 1e-9;
-    const double g = (static_cast<double>(local - base_) +
-                      driftPpb_ * 1e-9 * static_cast<double>(epoch_)) /
-                     denom;
-    return static_cast<TimeNs>(g);
+    const double g0 = (static_cast<double>(local - base_) +
+                       driftPpb_ * 1e-9 * static_cast<double>(epoch_)) /
+                      denom;
+    TimeNs g = static_cast<TimeNs>(g0);
+    while (localTime(g) < local) ++g;
+    while (localTime(g - 1) >= local) --g;
+    return g;
   }
 
   /// 802.1AS-style correction at global time t: the accumulated offset is
@@ -43,6 +53,13 @@ class Clock {
     base_ = residualError;
     epoch_ = t;
   }
+
+  /// gPTP servo step: slew the clock by `delta` local ns (negative = set
+  /// the clock back) without touching the rate model — the correction a
+  /// sync/follow-up pair applies after measuring the offset from the
+  /// grandmaster.  Unlike synchronize(), drift keeps accumulating against
+  /// the original epoch, so the servo has to keep absorbing it.
+  void stepBy(TimeNs delta) { base_ += delta; }
 
   /// Current offset from global time.
   TimeNs offsetAt(TimeNs t) const { return localTime(t) - t; }

@@ -27,6 +27,9 @@ bool FaultPlan::empty() const {
   for (const SyncOutage& s : syncOutages) {
     if (s.active()) return false;
   }
+  for (const GptpKill& k : gptpKills) {
+    if (k.active()) return false;
+  }
   return true;
 }
 
@@ -105,12 +108,69 @@ void FaultPlan::validate(const net::Topology& topo,
             static_cast<std::size_t>(b.ectIndex) < numEctSources,
         "babbler references unknown ECT source " << b.ectIndex);
   }
+  const auto knownNode = [&](net::NodeId m) {
+    return m >= 0 && m < topo.numNodes();
+  };
   for (const SyncOutage& s : syncOutages) {
-    ETSN_CHECK_MSG(s.node == net::kNoNode ||
-                       (s.node >= 0 && s.node < topo.numNodes()),
+    ETSN_CHECK_MSG(s.node == net::kNoNode || knownNode(s.node),
                    "sync outage references unknown node " << s.node);
+    for (const net::NodeId m : s.nodes) {
+      ETSN_CHECK_MSG(knownNode(m),
+                     "sync outage node set references unknown node " << m);
+    }
     ETSN_CHECK_MSG(s.start >= 0 && s.stop >= 0,
                    "sync outage times must be non-negative");
+  }
+  // Overlapping sync-outage episodes on the same node are a plan bug for
+  // the same reason overlapping link outages are: the injector would
+  // silently union them.  Expand every active episode to the per-node
+  // intervals it covers (kNoNode / an empty set = all nodes) and reject
+  // any node whose intervals overlap.
+  {
+    constexpr TimeNs kForever = std::numeric_limits<TimeNs>::max();
+    struct Episode {
+      net::NodeId node;
+      TimeNs start;
+      TimeNs stop;
+    };
+    std::vector<Episode> episodes;
+    for (const SyncOutage& s : syncOutages) {
+      if (!s.active()) continue;
+      const TimeNs stop = s.stop > s.start ? s.stop : kForever;
+      if (s.nodes.empty() && s.node == net::kNoNode) {
+        for (net::NodeId m = 0; m < topo.numNodes(); ++m) {
+          episodes.push_back({m, s.start, stop});
+        }
+      } else if (s.nodes.empty()) {
+        episodes.push_back({s.node, s.start, stop});
+      } else {
+        for (const net::NodeId m : s.nodes) {
+          episodes.push_back({m, s.start, stop});
+        }
+      }
+    }
+    std::sort(episodes.begin(), episodes.end(),
+              [](const Episode& a, const Episode& b) {
+                if (a.node != b.node) return a.node < b.node;
+                if (a.start != b.start) return a.start < b.start;
+                return a.stop < b.stop;
+              });
+    for (std::size_t i = 1; i < episodes.size(); ++i) {
+      const Episode& a = episodes[i - 1];
+      const Episode& b = episodes[i];
+      if (a.node != b.node) continue;
+      ETSN_CHECK_MSG(b.start >= a.stop,
+                     "overlapping sync outages on node "
+                         << a.node << ": [" << a.start << ", " << a.stop
+                         << ") overlaps [" << b.start << ", " << b.stop
+                         << ")");
+    }
+  }
+  for (const GptpKill& k : gptpKills) {
+    if (!k.active()) continue;
+    ETSN_CHECK_MSG(knownNode(k.node),
+                   "gPTP kill references unknown node " << k.node);
+    ETSN_CHECK_MSG(k.at >= 0, "gPTP kill time must be non-negative");
   }
 }
 
@@ -199,6 +259,13 @@ bool FaultInjector::linkDown(net::LinkId link, TimeNs t) const {
 bool FaultInjector::syncSuppressed(net::NodeId node, TimeNs t) const {
   for (const SyncOutage& s : plan_.syncOutages) {
     if (s.covers(node, t)) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::gptpKilled(net::NodeId node, TimeNs t) const {
+  for (const GptpKill& k : plan_.gptpKills) {
+    if (k.covers(node, t)) return true;
   }
   return false;
 }

@@ -72,18 +72,42 @@ struct BabblingSource {
   bool active() const { return interval > 0 && stop > start; }
 };
 
-/// 802.1AS sync outage: corrections are suppressed on `node`
-/// (net::kNoNode = every node) during [start, stop), so clock drift
-/// accumulates uncorrected until the next surviving sync.
+/// 802.1AS sync outage: corrections are suppressed on the targeted nodes
+/// during [start, stop), so clock drift accumulates uncorrected until the
+/// next surviving sync.  Targeting: `nodes` names an explicit set (e.g.
+/// just the grandmaster, or one subtree); when it is empty, the legacy
+/// single-node field applies — `node == kNoNode` hits every node,
+/// preserving byte-identical behavior for pre-existing plans.
 struct SyncOutage {
   net::NodeId node = net::kNoNode;
+  std::vector<net::NodeId> nodes;  // explicit node set; empty = use `node`
   TimeNs start = 0;
   TimeNs stop = 0;
 
   bool active() const { return stop > start; }
   bool covers(net::NodeId n, TimeNs t) const {
-    return active() && (node == net::kNoNode || node == n) && t >= start &&
-           t < stop;
+    if (!active() || t < start || t >= stop) return false;
+    if (nodes.empty()) return node == net::kNoNode || node == n;
+    for (const net::NodeId m : nodes) {
+      if (m == n) return true;
+    }
+    return false;
+  }
+};
+
+/// gPTP stack death on one node from `at` onward (fail-stop): the node
+/// stops sending and processing announce/sync/pdelay messages and its
+/// servo freezes, while its data-plane ports keep forwarding.  Killing
+/// the elected grandmaster is *the* failover drill — downstream nodes
+/// coast on holdover until BMCA re-elects.  Inert unless SimConfig::gptp
+/// is enabled (the legacy sawtooth sync has no per-node stack to kill).
+struct GptpKill {
+  net::NodeId node = net::kNoNode;
+  TimeNs at = 0;
+
+  bool active() const { return node != net::kNoNode; }
+  bool covers(net::NodeId n, TimeNs t) const {
+    return active() && node == n && t >= at;
   }
 };
 
@@ -92,6 +116,7 @@ struct FaultPlan {
   std::vector<LinkOutage> outages;
   std::vector<BabblingSource> babblers;
   std::vector<SyncOutage> syncOutages;
+  std::vector<GptpKill> gptpKills;
 
   /// True when no component can ever fire (the Network skips building an
   /// injector entirely, keeping fault-free runs bit-identical).
@@ -128,6 +153,9 @@ class FaultInjector {
 
   /// True when 802.1AS correction on `node` is suppressed at `t`.
   bool syncSuppressed(net::NodeId node, TimeNs t) const;
+
+  /// True once `node`'s gPTP stack has been killed (fail-stop) at `t`.
+  bool gptpKilled(net::NodeId node, TimeNs t) const;
 
   const FaultPlan& plan() const { return plan_; }
 

@@ -1,0 +1,463 @@
+#include "sim/gptp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace etsn::sim {
+
+namespace {
+
+/// A master candidate as seen from one node: the advertised vector plus
+/// the local tie-breaks (hop count, announcing neighbor, ingress port).
+/// Port kNoLink means "myself".
+struct Candidate {
+  GptpPriority gm;
+  int steps = 0;
+  std::uint64_t via = 0;
+  net::LinkId port = net::kNoLink;
+};
+
+/// Full BMCA order including tie-breaks; strict and total, so elections
+/// are deterministic regardless of message interleaving history.
+bool betterCandidate(const Candidate& a, const Candidate& b) {
+  if (!(a.gm == b.gm)) return betterPriority(a.gm, b.gm);
+  if (a.steps != b.steps) return a.steps < b.steps;
+  if (a.via != b.via) return a.via < b.via;
+  return a.port < b.port;
+}
+
+}  // namespace
+
+Gptp::Gptp(Simulator& sim, const net::Topology& topo,
+           std::vector<Clock>& clocks, const GptpConfig& config,
+           FaultInjector* faults, TimeNs duration)
+    : sim_(sim),
+      topo_(topo),
+      clocks_(clocks),
+      config_(config),
+      faults_(faults),
+      duration_(duration) {
+  ETSN_CHECK_MSG(config_.syncInterval > 0 && config_.announceInterval > 0 &&
+                     config_.pdelayInterval > 0,
+                 "gPTP intervals must be positive");
+  ETSN_CHECK_MSG(config_.announceTimeoutIntervals >= 1,
+                 "gPTP announce timeout must cover at least one interval");
+  ETSN_CHECK_MSG(static_cast<int>(clocks_.size()) == topo_.numNodes(),
+                 "gPTP needs one clock per node");
+  wireTxBytes_ = net::wireBytes(config_.messageBytes);
+
+  nodes_.resize(static_cast<std::size_t>(topo_.numNodes()));
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    NodeState& st = nodes_[n];
+    st.own.identity = identityOf(static_cast<net::NodeId>(n));
+    becomeOwnMaster(st);
+  }
+  for (const GptpCandidate& c : config_.candidates) {
+    ETSN_CHECK_MSG(c.node >= 0 && c.node < topo_.numNodes(),
+                   "gPTP candidate references unknown node " << c.node);
+    ETSN_CHECK_MSG(c.priority1 >= 0 && c.priority1 <= 255 &&
+                       c.clockClass >= 0 && c.clockClass <= 255,
+                   "gPTP candidate priorities must lie in [0, 255]");
+    NodeState& st = nodes_[static_cast<std::size_t>(c.node)];
+    st.own.priority1 = c.priority1;
+    st.own.clockClass = c.clockClass;
+    becomeOwnMaster(st);
+  }
+
+  ports_.resize(static_cast<std::size_t>(topo_.numLinks()));
+  syncRx_.resize(static_cast<std::size_t>(topo_.numLinks()));
+  syncSeq_.assign(nodes_.size(), 0);
+
+  announceTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t) {
+        static_cast<Gptp*>(ctx)->onAnnounceTick(a);
+      },
+      this);
+  syncTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t) {
+        static_cast<Gptp*>(ctx)->onSyncTick(a);
+      },
+      this);
+  pdelayTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t) {
+        static_cast<Gptp*>(ctx)->onPdelayTick(a);
+      },
+      this);
+  msgTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t) {
+        static_cast<Gptp*>(ctx)->onMsg(a);
+      },
+      this);
+  respTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t) {
+        static_cast<Gptp*>(ctx)->onPdelayRespDue(a);
+      },
+      this);
+  relayTag_ = sim_.registerHandler(
+      [](void* ctx, std::int32_t a, std::int64_t) {
+        static_cast<Gptp*>(ctx)->onRelayDue(a);
+      },
+      this);
+}
+
+void Gptp::start() {
+  for (net::NodeId n = 0; n < topo_.numNodes(); ++n) {
+    sim_.post(0, EventClass::Control, announceTag_, n);
+    if (config_.syncInterval <= duration_) {
+      sim_.post(config_.syncInterval, EventClass::Control, syncTag_, n);
+    }
+  }
+  // Peer delay starts immediately so the first sync cycle already has a
+  // measured link delay (an exchange completes within tens of us).
+  for (net::LinkId l = 0; l < topo_.numLinks(); ++l) {
+    sim_.post(0, EventClass::Control, pdelayTag_, l);
+  }
+}
+
+void Gptp::finalize() {
+  stats_.framesInFlight =
+      stats_.framesSent - stats_.framesDelivered - stats_.framesDropped;
+  ETSN_CHECK_MSG(stats_.framesInFlight >= 0, "gPTP frame books don't close");
+  for (NodeState& st : nodes_) {
+    st.stats.master = st.gm.identity;
+  }
+}
+
+TimeNs Gptp::maxOffsetError() const {
+  TimeNs worst = 0;
+  for (const NodeState& st : nodes_) {
+    worst = std::max(worst, st.stats.maxOffsetError);
+    worst = std::max(worst, st.stats.holdoverExcursion);
+  }
+  return worst;
+}
+
+void Gptp::becomeOwnMaster(NodeState& st) {
+  st.gm = st.own;
+  st.stepsRemoved = 0;
+  st.parentIdentity = st.own.identity;
+  st.slavePort = net::kNoLink;
+}
+
+void Gptp::onAnnounceTick(net::NodeId n) {
+  NodeState& st = nodes_[static_cast<std::size_t>(n)];
+  if (!killed(n)) {
+    if (st.slavePort != net::kNoLink) {
+      const TimeNs timeout = static_cast<TimeNs>(
+                                 config_.announceTimeoutIntervals) *
+                             config_.announceInterval;
+      if (sim_.now() - st.lastAnnounceAt >= timeout) {
+        // Master went silent: re-open the election with our own claim.
+        st.timeoutDetectedAt = sim_.now();
+        becomeOwnMaster(st);
+        sendAnnounceAll(n, net::kNoLink);
+      }
+    } else {
+      sendAnnounceAll(n, net::kNoLink);  // periodic grandmaster claim
+    }
+  }
+  if (sim_.now() + config_.announceInterval <= duration_) {
+    sim_.postAfter(config_.announceInterval, EventClass::Control,
+                   announceTag_, n);
+  }
+}
+
+void Gptp::onSyncTick(net::NodeId n) {
+  NodeState& st = nodes_[static_cast<std::size_t>(n)];
+  if (!killed(n) && st.slavePort == net::kNoLink) {
+    const std::uint32_t seq =
+        ++syncSeq_[static_cast<std::size_t>(n)];
+    emitSyncCycle(n, seq, stampNow(n), 0, 1.0, net::kNoLink);
+  }
+  if (sim_.now() + config_.syncInterval <= duration_) {
+    sim_.postAfter(config_.syncInterval, EventClass::Control, syncTag_, n);
+  }
+}
+
+void Gptp::onPdelayTick(net::LinkId l) {
+  const net::Link& lk = topo_.link(l);
+  if (!killed(lk.from)) {
+    PortState& p = ports_[static_cast<std::size_t>(l)];
+    p.pendingT1 = stampNow(lk.from);
+    Msg m;
+    m.kind = Msg::Kind::PdelayReq;
+    m.link = l;
+    sendMsg(m);
+  }
+  if (sim_.now() + config_.pdelayInterval <= duration_) {
+    sim_.postAfter(config_.pdelayInterval, EventClass::Control, pdelayTag_, l);
+  }
+}
+
+void Gptp::sendMsg(Msg m, TimeNs extraDelay) {
+  const net::Link& lk = topo_.link(m.link);
+  stats_.framesSent++;
+  // Management traffic bypasses the Qbv data queues (it rides outside the
+  // scheduled classes) but shares the cable's physics and fault verdicts:
+  // an outage or loss model that would cut a data frame cuts gPTP too.
+  const TimeNs txEnd = sim_.now() + net::txTime(wireTxBytes_, lk.bandwidthBps);
+  if (faults_ != nullptr) {
+    if (faults_->linkDown(m.link, txEnd)) {
+      stats_.framesDropped++;
+      return;
+    }
+    if (faults_->lossAt(m.link, txEnd).has_value()) {
+      stats_.framesDropped++;
+      return;
+    }
+  }
+  const int slot = alloc(std::move(m));
+  sim_.post(txEnd + lk.propagationDelay + extraDelay, EventClass::Control,
+            msgTag_, slot);
+}
+
+void Gptp::onMsg(int slot) {
+  const Msg m = take(slot);
+  stats_.framesDelivered++;
+  const net::Link& lk = topo_.link(m.link);
+  const net::NodeId v = lk.to;
+  if (killed(v)) return;  // dead stack: frames arrive and are ignored
+
+  switch (m.kind) {
+    case Msg::Kind::Announce:
+      handleAnnounce(v, m);
+      break;
+    case Msg::Kind::Sync: {
+      SyncRx& sr = syncRx_[static_cast<std::size_t>(m.link)];
+      sr.seq = m.seq;
+      sr.rxLocal = stampNow(v);
+      sr.valid = true;
+      break;
+    }
+    case Msg::Kind::FollowUp:
+      handleFollowUp(v, m);
+      break;
+    case Msg::Kind::PdelayReq: {
+      // Responder side: timestamp reception now, transmit the response
+      // after the turnaround (t3 is stamped at actual transmission).
+      Msg r;
+      r.kind = Msg::Kind::PdelayResp;
+      r.link = lk.reverse;
+      r.seq = m.seq;
+      r.t2 = stampNow(v);
+      sim_.postAfter(config_.pdelayTurnaround, EventClass::Control, respTag_,
+                     alloc(std::move(r)));
+      break;
+    }
+    case Msg::Kind::PdelayResp: {
+      // Initiator side: our request went out on the reverse link.
+      PortState& p = ports_[static_cast<std::size_t>(lk.reverse)];
+      if (p.pendingT1 < 0) break;  // response to a lost/stale request
+      const TimeNs t1 = p.pendingT1;
+      p.pendingT1 = -1;
+      const TimeNs t4 = stampNow(v);
+      if (p.havePrev && t4 > p.prevT4 && m.t3 > p.prevT3) {
+        // Neighbor rate ratio from successive responder timestamps:
+        // d(neighbor)/d(self).  Clamped against quantization noise.
+        const double nrr = static_cast<double>(m.t3 - p.prevT3) /
+                           static_cast<double>(t4 - p.prevT4);
+        p.nrr = std::clamp(nrr, 0.99, 1.01);
+      }
+      p.prevT3 = m.t3;
+      p.prevT4 = t4;
+      p.havePrev = true;
+      // Mean link delay in our clock: half the round trip minus the
+      // responder turnaround converted to our timebase.
+      const double turnaround =
+          static_cast<double>(m.t3 - m.t2) / p.nrr;
+      const double delay =
+          (static_cast<double>(t4 - t1) - turnaround) / 2.0;
+      p.meanLinkDelay = std::max<TimeNs>(0, std::llround(delay));
+      p.haveDelay = true;
+      stats_.pdelayMeasurements++;
+      break;
+    }
+    case Msg::Kind::Relay:
+      break;  // never on the wire
+  }
+}
+
+void Gptp::onPdelayRespDue(int slot) {
+  Msg r = take(slot);
+  const net::NodeId responder = topo_.link(r.link).from;
+  if (killed(responder)) return;
+  r.t3 = stampNow(responder);
+  sendMsg(std::move(r));
+}
+
+void Gptp::handleAnnounce(net::NodeId v, const Msg& m) {
+  NodeState& st = nodes_[static_cast<std::size_t>(v)];
+  const Candidate received{m.gm, m.stepsRemoved + 1, m.senderIdentity,
+                           m.link};
+  const Candidate ownClaim{st.own, 0, st.own.identity, net::kNoLink};
+  const net::LinkId relayExcept = topo_.link(m.link).reverse;
+
+  if (m.link == st.slavePort) {
+    // Fresh word from the current parent replaces whatever it said
+    // before — including degraded word (its own master died).  Keep it
+    // only while it still beats being our own master.
+    if (betterCandidate(received, ownClaim)) {
+      st.gm = received.gm;
+      st.stepsRemoved = received.steps;
+      st.parentIdentity = received.via;
+      st.lastAnnounceAt = sim_.now();
+      sendAnnounceAll(v, relayExcept);
+    } else {
+      becomeOwnMaster(st);
+      sendAnnounceAll(v, net::kNoLink);
+    }
+    return;
+  }
+
+  const Candidate current =
+      st.slavePort == net::kNoLink
+          ? ownClaim
+          : Candidate{st.gm, st.stepsRemoved, st.parentIdentity,
+                      st.slavePort};
+  if (betterCandidate(received, current)) {
+    st.gm = received.gm;
+    st.stepsRemoved = received.steps;
+    st.parentIdentity = received.via;
+    st.slavePort = m.link;
+    st.lastAnnounceAt = sim_.now();
+    sendAnnounceAll(v, relayExcept);
+  }
+  // else: worse or equal word on a non-slave port — passive, no relay.
+}
+
+void Gptp::sendAnnounceAll(net::NodeId n, net::LinkId exceptOut) {
+  const NodeState& st = nodes_[static_cast<std::size_t>(n)];
+  for (const net::LinkId l : topo_.outLinks(n)) {
+    if (l == exceptOut) continue;
+    Msg m;
+    m.kind = Msg::Kind::Announce;
+    m.link = l;
+    m.gm = st.gm;
+    m.stepsRemoved = st.stepsRemoved;
+    m.senderIdentity = st.own.identity;
+    stats_.announcesSent++;
+    sendMsg(std::move(m));
+  }
+}
+
+void Gptp::emitSyncCycle(net::NodeId n, std::uint32_t seq, TimeNs originTs,
+                         TimeNs correction, double rateRatio,
+                         net::LinkId exceptOut) {
+  for (const net::LinkId l : topo_.outLinks(n)) {
+    if (l == exceptOut) continue;
+    Msg s;
+    s.kind = Msg::Kind::Sync;
+    s.link = l;
+    s.seq = seq;
+    sendMsg(std::move(s));
+    Msg f;
+    f.kind = Msg::Kind::FollowUp;
+    f.link = l;
+    f.seq = seq;
+    f.originTs = originTs;
+    f.correction = correction;
+    f.rateRatio = rateRatio;
+    sendMsg(std::move(f), config_.followUpDelay);
+    stats_.syncCyclesSent++;
+  }
+}
+
+void Gptp::handleFollowUp(net::NodeId v, const Msg& m) {
+  NodeState& st = nodes_[static_cast<std::size_t>(v)];
+  SyncRx& sr = syncRx_[static_cast<std::size_t>(m.link)];
+  if (!sr.valid || sr.seq != m.seq) return;  // sync lost or superseded
+  sr.valid = false;
+  if (m.link != st.slavePort) return;  // not our parent: ignore
+
+  const net::LinkId back = topo_.link(m.link).reverse;
+  const PortState& p = ports_[static_cast<std::size_t>(back)];
+  // Our rate vs the grandmaster: the sender's ratio chained with the
+  // measured neighbor rate ratio toward that sender.
+  st.gmRateRatio = m.rateRatio * p.nrr;
+  const TimeNs pd = p.haveDelay ? p.meanLinkDelay : 0;
+  const TimeNs gmAtRx =
+      m.originTs + m.correction +
+      std::llround(static_cast<double>(pd) * st.gmRateRatio);
+  const TimeNs offset = sr.rxLocal - gmAtRx;
+
+  TimeNs relayBase = sr.rxLocal;
+  if (!servoSuppressed(v)) {
+    applyCorrection(v, offset);
+    // Re-express the recorded rx timestamp under the stepped clock so the
+    // relay's residence time doesn't absorb the servo step.
+    relayBase -= offset;
+  }
+
+  if (topo_.outLinks(v).size() > 1) {
+    Msg r;
+    r.kind = Msg::Kind::Relay;
+    r.link = m.link;
+    r.seq = m.seq;
+    r.originTs = m.originTs;
+    r.correction = m.correction;
+    r.t2 = relayBase;
+    sim_.postAfter(config_.residenceDelay, EventClass::Control, relayTag_,
+                   alloc(std::move(r)));
+  }
+}
+
+void Gptp::applyCorrection(net::NodeId v, TimeNs offset) {
+  NodeState& st = nodes_[static_cast<std::size_t>(v)];
+  clocks_[static_cast<std::size_t>(v)].stepBy(-offset);
+  // The very first correction is acquisition (capturing the free-run
+  // phase accumulated before the first sync), not steady-state error;
+  // exclude it from the emergent offset-error bound.
+  const bool acquisition = st.stats.corrections == 0;
+  st.stats.corrections++;
+  stats_.servoCorrections++;
+  const TimeNs mag = offset < 0 ? -offset : offset;
+  if (!acquisition && mag > st.stats.maxOffsetError) {
+    st.stats.maxOffsetError = mag;
+  }
+  if (st.timeoutDetectedAt >= 0) {
+    // First correction under the re-elected master closes the episode.
+    const TimeNs gap = sim_.now() - st.timeoutDetectedAt;
+    if (gap > st.stats.reelectionTimeNs) st.stats.reelectionTimeNs = gap;
+    if (mag > st.stats.holdoverExcursion) st.stats.holdoverExcursion = mag;
+    st.stats.reelections++;
+    stats_.reelections++;
+    st.timeoutDetectedAt = -1;
+  }
+}
+
+void Gptp::onRelayDue(int slot) {
+  const Msg m = take(slot);
+  const net::NodeId v = topo_.link(m.link).to;
+  if (killed(v)) return;
+  const NodeState& st = nodes_[static_cast<std::size_t>(v)];
+  if (st.slavePort != m.link) return;  // tree moved during residence
+  const net::LinkId back = topo_.link(m.link).reverse;
+  const PortState& p = ports_[static_cast<std::size_t>(back)];
+  const TimeNs residence = std::max<TimeNs>(0, stampNow(v) - m.t2);
+  const TimeNs pd = p.haveDelay ? p.meanLinkDelay : 0;
+  const TimeNs correction =
+      m.correction +
+      std::llround(static_cast<double>(pd + residence) * st.gmRateRatio);
+  emitSyncCycle(v, m.seq, m.originTs, correction, st.gmRateRatio, back);
+}
+
+int Gptp::alloc(Msg m) {
+  if (!freeSlots_.empty()) {
+    const int s = freeSlots_.back();
+    freeSlots_.pop_back();
+    slab_[static_cast<std::size_t>(s)] = std::move(m);
+    return s;
+  }
+  slab_.push_back(std::move(m));
+  return static_cast<int>(slab_.size()) - 1;
+}
+
+Gptp::Msg Gptp::take(int slot) {
+  Msg m = slab_[static_cast<std::size_t>(slot)];
+  freeSlots_.push_back(slot);
+  return m;
+}
+
+}  // namespace etsn::sim

@@ -1,0 +1,284 @@
+// Faithful-enough IEEE 802.1AS gPTP running inside the event kernel.
+//
+// Three protocol machines per node, all as real timed events (mirroring
+// INET's Gptp/GptpBridge/GptpMaster/GptpSlave decomposition):
+//
+//  * BMCA — every node starts by claiming grandmaster and floods announce
+//    messages; receivers adopt the best (priority1, clockClass, identity)
+//    vector with stepsRemoved / sender-identity / port-id tie-breaks and
+//    relay it, so the network converges on one grandmaster and a sync
+//    tree (each node's slavePort points at its parent).  Losing announces
+//    for announceTimeoutIntervals consecutive intervals re-opens the
+//    election — the grandmaster-failover path.
+//  * Peer delay — each directed link runs pDelay request/response with
+//    timestamps quantized to the hardware granularity; successive
+//    exchanges also estimate the neighbor rate ratio (relative drift),
+//    feeding the residence-time correction.
+//  * Sync tree — the grandmaster emits two-step sync/follow-up pairs;
+//    bridges relay them down-tree after a residence delay, accumulating
+//    (link delay + residence time) x rateRatio into the correction field.
+//    Each slave steps its sim::Clock by the measured offset, so per-node
+//    offset error is *emergent*: it grows with hop count (quantization
+//    per hop) and drift x interval, and blows up into a holdover
+//    excursion when the grandmaster dies — exactly the quantities a
+//    schedule's syncErrorMargin must budget for.
+//
+// Determinism: the stack draws no random numbers; every timestamp is a
+// pure function of the event schedule, so elections and offsets are
+// byte-identical across seeds and campaign thread counts.  gPTP frames
+// share the links' fault verdicts (outage, loss) but bypass the Qbv data
+// queues — management traffic rides the reserved best-effort class — and
+// are accounted with closed books (sent == delivered + dropped + inflight).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "net/ethernet.h"
+#include "net/topology.h"
+#include "sim/clock.h"
+#include "sim/faults.h"
+#include "sim/kernel.h"
+
+namespace etsn::sim {
+
+/// A node's BMCA priority vector (lower wins on every field, identity
+/// last — the 802.1AS systemIdentity prefix that matters here).
+struct GptpPriority {
+  int priority1 = 248;       // default "not grandmaster-capable" tier
+  int clockClass = 248;      // free-running quality
+  std::uint64_t identity = 0;  // unique clock identity (EUI-64 stand-in)
+};
+
+inline bool operator==(const GptpPriority& a, const GptpPriority& b) {
+  return a.priority1 == b.priority1 && a.clockClass == b.clockClass &&
+         a.identity == b.identity;
+}
+
+/// Strict BMCA order: true when a is the better master.
+inline bool betterPriority(const GptpPriority& a, const GptpPriority& b) {
+  if (a.priority1 != b.priority1) return a.priority1 < b.priority1;
+  if (a.clockClass != b.clockClass) return a.clockClass < b.clockClass;
+  return a.identity < b.identity;
+}
+
+/// Per-node BMCA override: nominate `node` as a grandmaster candidate.
+/// Nodes without an entry run with the defaults (electable, but losing to
+/// any explicit candidate).
+struct GptpCandidate {
+  net::NodeId node = net::kNoNode;
+  int priority1 = 128;
+  int clockClass = 6;  // primary-reference tier
+};
+
+struct GptpConfig {
+  bool enabled = false;
+  /// Sync/follow-up cadence of the acting grandmaster.
+  TimeNs syncInterval = milliseconds(125);
+  /// Announce cadence (and the timeout-check tick on every node).
+  TimeNs announceInterval = milliseconds(125);
+  /// Announce silence tolerated before a slave declares its master dead
+  /// and re-opens the election, in announce intervals.
+  int announceTimeoutIntervals = 3;
+  /// Peer-delay measurement cadence per directed link.
+  TimeNs pdelayInterval = milliseconds(250);
+  /// Responder turnaround between pdelay-req rx and pdelay-resp tx.
+  TimeNs pdelayTurnaround = microseconds(1);
+  /// Bridge residence between accepting a sync and relaying it down-tree.
+  TimeNs residenceDelay = microseconds(2);
+  /// Gap between a sync and its follow-up on the same link.
+  TimeNs followUpDelay = microseconds(1);
+  /// Hardware timestamp granularity: every protocol timestamp is floored
+  /// to a multiple of this, making per-hop sync error emergent (8 ns
+  /// mirrors the paper testbed's hardware timestamping class).
+  TimeNs timestampGranularity = nanoseconds(8);
+  /// On-wire payload size used for every gPTP message (equal sizes keep
+  /// the peer-delay estimate an exact match for the sync transit time).
+  int messageBytes = 90;
+  std::vector<GptpCandidate> candidates;
+};
+
+/// Lifetime counters for one node's sync quality.
+struct GptpNodeStats {
+  std::int64_t corrections = 0;  // servo steps applied
+  TimeNs maxOffsetError = 0;     // max |measured offset| at correction time
+  TimeNs holdoverExcursion = 0;  // worst first-step after an announce timeout
+  TimeNs reelectionTimeNs = 0;   // worst timeout-detected -> resynced gap
+  int reelections = 0;           // completed timeout -> resync episodes
+  std::uint64_t master = 0;      // grandmaster identity followed at run end
+};
+
+/// Network-wide counters, including the closed frame books.
+struct GptpStats {
+  std::int64_t framesSent = 0;
+  std::int64_t framesDelivered = 0;
+  std::int64_t framesDropped = 0;   // link outage / loss verdicts
+  std::int64_t framesInFlight = 0;  // pending past end-of-run (finalize())
+  std::int64_t announcesSent = 0;
+  std::int64_t syncCyclesSent = 0;  // sync/follow-up emissions (GM + relays)
+  std::int64_t pdelayMeasurements = 0;
+  std::int64_t servoCorrections = 0;
+  int reelections = 0;  // sum of per-node completed episodes
+};
+
+/// The per-network gPTP stack.  Standalone-constructible (a Simulator, a
+/// Topology and the clock bank) so election/tree tests run without a full
+/// Network; sim::Network owns one when SimConfig::gptp.enabled.
+class Gptp {
+ public:
+  /// `faults` may be null (no fault plan); non-const because gPTP frames
+  /// consume the same per-link loss draws as data frames.  `duration`
+  /// bounds periodic tick rescheduling exactly like the network's other
+  /// periodic sources.
+  Gptp(Simulator& sim, const net::Topology& topo, std::vector<Clock>& clocks,
+       const GptpConfig& config, FaultInjector* faults, TimeNs duration);
+
+  /// Deterministic clock identity of a node (node id + 1, so identity 0
+  /// never names a real clock).
+  static std::uint64_t identityOf(net::NodeId n) {
+    return static_cast<std::uint64_t>(n) + 1;
+  }
+
+  /// Post the initial announce/sync/pdelay ticks (call before sim.run()).
+  void start();
+  /// Close the frame books and per-node summaries (call after sim.run()).
+  void finalize();
+
+  const GptpStats& stats() const { return stats_; }
+  const GptpNodeStats& nodeStats(net::NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].stats;
+  }
+  /// Identity of the grandmaster `n` currently follows (its own when
+  /// self-elected or killed).
+  std::uint64_t masterIdentityOf(net::NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].gm.identity;
+  }
+  /// Ingress link sync is accepted on; kNoLink when n believes it is the
+  /// grandmaster.
+  net::LinkId slavePortOf(net::NodeId n) const {
+    return nodes_[static_cast<std::size_t>(n)].slavePort;
+  }
+  /// Worst |offset| any node measured over the run — the emergent bound
+  /// a schedule's syncErrorMargin has to clear.
+  TimeNs maxOffsetError() const;
+
+ private:
+  struct Msg {
+    enum class Kind : std::uint8_t {
+      Announce,
+      Sync,
+      FollowUp,
+      PdelayReq,
+      PdelayResp,
+      Relay,  // internal: residence-delay record, never on the wire
+    };
+    Kind kind = Kind::Announce;
+    net::LinkId link = net::kNoLink;  // directed link traversed / ingress
+    std::uint32_t seq = 0;
+    GptpPriority gm;                // Announce
+    int stepsRemoved = 0;           // Announce
+    std::uint64_t senderIdentity = 0;  // Announce tie-break
+    TimeNs originTs = 0;   // FollowUp/Relay: GM sync-egress timestamp
+    TimeNs correction = 0;  // FollowUp/Relay: accumulated path delay, GM ns
+    double rateRatio = 1.0;  // FollowUp: d(GM)/d(sender local)
+    TimeNs t2 = 0;  // PdelayResp: req rx ts; Relay: adjusted sync rx ts
+    TimeNs t3 = 0;  // PdelayResp: resp tx ts
+  };
+
+  /// Peer-delay initiator state, owned by link.from for each directed
+  /// link (both directions of a cable measure independently).
+  struct PortState {
+    double nrr = 1.0;          // d(neighbor local)/d(own local)
+    TimeNs meanLinkDelay = 0;  // measured one-way delay, own-local ns
+    bool haveDelay = false;
+    TimeNs pendingT1 = -1;  // outstanding request's tx timestamp
+    TimeNs prevT3 = 0, prevT4 = 0;
+    bool havePrev = false;
+  };
+
+  /// Last sync seen on a directed link's ingress side (at link.to).
+  struct SyncRx {
+    std::uint32_t seq = 0;
+    TimeNs rxLocal = 0;
+    bool valid = false;
+  };
+
+  struct NodeState {
+    GptpPriority own;
+    GptpPriority gm;  // best vector known (== own when self-elected)
+    int stepsRemoved = 0;
+    std::uint64_t parentIdentity = 0;  // announce sender backing `gm`
+    net::LinkId slavePort = net::kNoLink;
+    double gmRateRatio = 1.0;  // d(GM)/d(own local)
+    TimeNs lastAnnounceAt = 0;
+    TimeNs timeoutDetectedAt = -1;  // open re-election episode, or -1
+    GptpNodeStats stats;
+  };
+
+  void onAnnounceTick(net::NodeId n);
+  void onSyncTick(net::NodeId n);
+  void onPdelayTick(net::LinkId l);
+  void onMsg(int slot);
+  void onPdelayRespDue(int slot);
+  void onRelayDue(int slot);
+
+  void handleAnnounce(net::NodeId v, const Msg& m);
+  void handleFollowUp(net::NodeId v, const Msg& m);
+  void becomeOwnMaster(NodeState& st);
+  void sendAnnounceAll(net::NodeId n, net::LinkId exceptOut);
+  void emitSyncCycle(net::NodeId n, std::uint32_t seq, TimeNs originTs,
+                     TimeNs correction, double rateRatio,
+                     net::LinkId exceptOut);
+  /// Transmit a message over its directed link: loss/outage verdicts at
+  /// tx-complete time, arrival after wire + propagation (+ extraDelay).
+  void sendMsg(Msg m, TimeNs extraDelay = 0);
+  void applyCorrection(net::NodeId v, TimeNs offset);
+
+  bool killed(net::NodeId n) const {
+    return faults_ != nullptr && faults_->gptpKilled(n, sim_.now());
+  }
+  bool servoSuppressed(net::NodeId n) const {
+    return faults_ != nullptr && faults_->syncSuppressed(n, sim_.now());
+  }
+  TimeNs quantize(TimeNs t) const {
+    const TimeNs g = config_.timestampGranularity;
+    if (g <= 1) return t;
+    TimeNs q = t / g * g;
+    if (q > t) q -= g;  // floor for negative t
+    return q;
+  }
+  /// Node n's hardware timestamp for "now".
+  TimeNs stampNow(net::NodeId n) const {
+    return quantize(clocks_[static_cast<std::size_t>(n)].localTime(sim_.now()));
+  }
+
+  int alloc(Msg m);
+  Msg take(int slot);
+
+  Simulator& sim_;
+  const net::Topology& topo_;
+  std::vector<Clock>& clocks_;
+  GptpConfig config_;
+  FaultInjector* faults_;
+  TimeNs duration_;
+  std::int64_t wireTxBytes_ = 0;  // wire bytes per message (precomputed)
+
+  std::vector<NodeState> nodes_;
+  std::vector<PortState> ports_;   // per directed link, owned by link.from
+  std::vector<SyncRx> syncRx_;     // per directed link, owned by link.to
+  std::vector<std::uint32_t> syncSeq_;  // per node, as acting GM
+  GptpStats stats_;
+
+  std::vector<Msg> slab_;  // message slab, recycled via free list
+  std::vector<int> freeSlots_;
+
+  int announceTag_ = 0;  // a = node
+  int syncTag_ = 0;      // a = node
+  int pdelayTag_ = 0;    // a = directed link
+  int msgTag_ = 0;       // a = slab slot (arrival)
+  int respTag_ = 0;      // a = slab slot (pdelay responder turnaround)
+  int relayTag_ = 0;     // a = slab slot (bridge residence expiry)
+};
+
+}  // namespace etsn::sim

@@ -86,6 +86,15 @@ Network::Network(const net::Topology& topo,
     }
   }
 
+  // Faithful gPTP stack (BMCA + peer delay + sync tree) over the clock
+  // bank; when enabled it supersedes the legacy sawtooth sync (startPtp
+  // is not scheduled).  Built before the ports so its jump-table tags sit
+  // in a fixed position regardless of topology size.
+  if (config_.gptp.enabled) {
+    gptp_ = std::make_unique<Gptp>(sim_, topo_, clocks_, config_.gptp,
+                                   faults_.get(), config_.duration);
+  }
+
   // One egress port per directed link, gated by the program's GCL.
   ETSN_CHECK(static_cast<int>(program_.linkGcl.size()) <= topo_.numLinks());
   ports_.resize(static_cast<std::size_t>(topo_.numLinks()));
@@ -243,7 +252,20 @@ void Network::onFrameReceived(FrameHandle h, net::LinkId link) {
   // traffic is shaped by the switches' own gates, so edge conformance is
   // sufficient (and hardware places Qci at the ingress port too).
   if (policer_ != nullptr && f.hop == 0) {
-    const IngressPolicer::Decision d = policer_->admit(f, sim_.now());
+    // Arrival-window gates are judged in the ingress switch's own clock:
+    // with gPTP running, that clock tracks the elected grandmaster, so
+    // the judged time degrades exactly as far as the sync tree does (the
+    // false-block mechanism the failover drills measure).  Meter state
+    // and fail-silent bookkeeping stay on monotone simulation time — a
+    // servo step may set a clock slightly backwards, which the token
+    // arithmetic must never see.  Without gPTP the legacy global-time
+    // judgment is byte-identical.
+    const TimeNs gateNow =
+        gptp_ != nullptr
+            ? clocks_[static_cast<std::size_t>(topo_.link(link).to)].localTime(
+                  sim_.now())
+            : sim_.now();
+    const IngressPolicer::Decision d = policer_->admit(f, sim_.now(), gateNow);
     if (d.violation) recorder_->onPolicerViolation(f.specId);
     if (!d.pass) {
       recorder_->onFrameDropped(f, DropCause::Policer);
@@ -369,6 +391,7 @@ void Network::startEctSource(std::size_t index) {
 }
 
 void Network::startPtp() {
+  if (gptp_ != nullptr) return;  // the real stack owns synchronization
   if (config_.clockDriftPpbMax <= 0) return;
   // Periodic 802.1AS-style correction on every node.
   for (int n = 0; n < topo_.numNodes(); ++n) {
@@ -448,8 +471,10 @@ void Network::run() {
     }
   }
   startPtp();
+  if (gptp_ != nullptr) gptp_->start();
   startFaults();
   sim_.run(config_.duration);
+  if (gptp_ != nullptr) gptp_->finalize();
   recorder_->finalize();
 }
 

@@ -15,6 +15,7 @@
 #include "sim/clock.h"
 #include "sim/faults.h"
 #include "sim/frer.h"
+#include "sim/gptp.h"
 #include "sim/kernel.h"
 #include "sim/police.h"
 #include "sim/port.h"
@@ -42,6 +43,12 @@ struct SimConfig {
   TimeNs syncInterval = milliseconds(125);
   /// Residual offset error after each sync, uniform in [-r, +r].
   TimeNs syncResidualMax = nanoseconds(50);
+  /// Faithful 802.1AS gPTP (see sim/gptp.h): BMCA election, peer-delay
+  /// measurement and a sync tree replace the sawtooth model above — per
+  /// node offset error becomes emergent instead of scripted.  Off by
+  /// default; enabling it supersedes syncResidualMax (the legacy periodic
+  /// reset is not scheduled).
+  GptpConfig gptp;
   /// Event inter-arrival = minInterevent + uniform(0, window);
   /// 0 = use the stream's minimum interevent time as the window, giving a
   /// uniformly distributed occurrence phase (§VI-B).
@@ -88,6 +95,8 @@ class Network {
   const IngressPolicer* policer() const { return policer_.get(); }
   /// Null unless some stream is FRER-protected (redundancy > 1).
   const FrerRelay* frerRelay() const { return relay_.get(); }
+  /// Null unless SimConfig::gptp.enabled.
+  const Gptp* gptp() const { return gptp_.get(); }
 
  private:
   void startTalker(std::size_t index);
@@ -114,6 +123,7 @@ class Network {
   std::unique_ptr<FaultInjector> faults_;  // null on fault-free runs
   std::unique_ptr<IngressPolicer> policer_;  // null unless policing enabled
   std::unique_ptr<FrerRelay> relay_;  // null unless some spec is protected
+  std::unique_ptr<Gptp> gptp_;  // null unless SimConfig::gptp.enabled
   std::vector<Clock> clocks_;  // per node
   std::vector<std::unique_ptr<EgressPort>> ports_;  // per directed link
   std::unique_ptr<Recorder> recorder_;

@@ -42,7 +42,8 @@ void IngressPolicer::refillMeter(const net::MeterFilter& m, StreamState& s,
   }
 }
 
-IngressPolicer::Decision IngressPolicer::admit(const Frame& f, TimeNs now) {
+IngressPolicer::Decision IngressPolicer::admit(const Frame& f, TimeNs now,
+                                               TimeNs gateNow) {
   Decision d;
   const net::StreamFilter* filter = config_.filters.filterFor(f.specId);
   if (filter == nullptr || filter->kind == net::StreamFilter::Kind::None) {
@@ -75,7 +76,7 @@ IngressPolicer::Decision IngressPolicer::admit(const Frame& f, TimeNs now) {
 
   bool conformant = true;
   if (filter->kind == net::StreamFilter::Kind::Gate) {
-    conformant = filter->gateFor(f.member).conforms(now);
+    conformant = filter->gateFor(f.member).conforms(gateNow);
   } else {
     refillMeter(filter->meter, s, now);
     if (s.tokens > 0) {

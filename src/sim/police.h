@@ -59,7 +59,13 @@ class IngressPolicer {
   /// `now` must be monotonically non-decreasing across calls per stream.
   /// FRER member copies (f.member) are judged against their own member
   /// gate and their own meter/blocking state.
-  Decision admit(const Frame& f, TimeNs now);
+  Decision admit(const Frame& f, TimeNs now) { return admit(f, now, now); }
+
+  /// Same, but arrival-window gates are judged at `gateNow` — the ingress
+  /// switch's own (gPTP-disciplined) clock reading, which may jitter by
+  /// the sync error and even step backwards after a servo correction.
+  /// Meter refill and quiet-period state keep using the monotone `now`.
+  Decision admit(const Frame& f, TimeNs now, TimeNs gateNow);
 
   /// Whether any member of the stream is currently fail-silent (quiet
   /// period pending).

@@ -233,6 +233,120 @@ TEST(FaultInjector, SyncOutageTargetsNodeOrEveryone) {
   one.stop = 20;
   EXPECT_TRUE(one.covers(2, 15));
   EXPECT_FALSE(one.covers(3, 15));
+
+  // An explicit node set overrides the legacy single-node field.
+  sim::SyncOutage set;
+  set.node = 7;            // ignored once `nodes` is non-empty
+  set.nodes = {1, 4};
+  set.start = 10;
+  set.stop = 20;
+  EXPECT_TRUE(set.covers(1, 15));
+  EXPECT_TRUE(set.covers(4, 15));
+  EXPECT_FALSE(set.covers(7, 15));
+  EXPECT_FALSE(set.covers(1, 20));
+}
+
+TEST(FaultPlan, ValidateRejectsBadSyncOutageNodeSets) {
+  const net::Topology topo = net::makeTestbedTopology();
+
+  // A node id outside the topology is a typo, not a no-op.
+  sim::FaultPlan unknown;
+  sim::SyncOutage so;
+  so.nodes = {0, topo.numNodes()};
+  so.start = 0;
+  so.stop = milliseconds(10);
+  unknown.syncOutages.push_back(so);
+  EXPECT_THROW(unknown.validate(topo, 0), InvariantError);
+
+  // Two episodes overlapping on the same node would silently union.
+  sim::FaultPlan overlap;
+  sim::SyncOutage a;
+  a.nodes = {1, 2};
+  a.start = milliseconds(10);
+  a.stop = milliseconds(30);
+  sim::SyncOutage b;
+  b.nodes = {2, 3};
+  b.start = milliseconds(20);
+  b.stop = milliseconds(40);
+  overlap.syncOutages = {a, b};
+  try {
+    overlap.validate(topo, 0);
+    FAIL() << "overlapping per-node sync outages were accepted";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("overlapping sync outages"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // A wildcard episode (all nodes) overlaps any per-node one.
+  sim::FaultPlan wildcard;
+  sim::SyncOutage all;
+  all.start = milliseconds(10);
+  all.stop = milliseconds(30);
+  sim::SyncOutage one;
+  one.nodes = {3};
+  one.start = milliseconds(25);
+  one.stop = milliseconds(35);
+  wildcard.syncOutages = {all, one};
+  EXPECT_THROW(wildcard.validate(topo, 0), InvariantError);
+
+  // Disjoint node sets and back-to-back episodes are fine.
+  sim::FaultPlan ok;
+  sim::SyncOutage left = a;
+  sim::SyncOutage right;
+  right.nodes = {3, 4};
+  right.start = milliseconds(20);
+  right.stop = milliseconds(40);
+  sim::SyncOutage later;
+  later.nodes = {1};
+  later.start = milliseconds(30);
+  later.stop = milliseconds(50);
+  ok.syncOutages = {left, right, later};
+  EXPECT_NO_THROW(ok.validate(topo, 0));
+}
+
+TEST(FaultPlan, ValidateRejectsBadGptpKills) {
+  const net::Topology topo = net::makeTestbedTopology();
+
+  sim::FaultPlan unknown;
+  sim::GptpKill k;
+  k.node = topo.numNodes();
+  unknown.gptpKills.push_back(k);
+  EXPECT_THROW(unknown.validate(topo, 0), InvariantError);
+
+  sim::FaultPlan negative;
+  sim::GptpKill neg;
+  neg.node = 0;
+  neg.at = -1;
+  negative.gptpKills.push_back(neg);
+  EXPECT_THROW(negative.validate(topo, 0), InvariantError);
+
+  sim::FaultPlan ok;
+  sim::GptpKill fine;
+  fine.node = 2;
+  fine.at = milliseconds(50);
+  ok.gptpKills.push_back(fine);
+  ok.gptpKills.push_back({});  // inactive default is fine
+  EXPECT_NO_THROW(ok.validate(topo, 0));
+}
+
+TEST(SimFaults, SyncOutageExplicitAllNodesMatchesLegacyWildcard) {
+  Experiment legacy = pipelineExperiment();
+  legacy.simConfig.clockDriftPpbMax = 10'000;
+  legacy.simConfig.syncInterval = milliseconds(50);
+  legacy.options.config.syncErrorMargin = microseconds(2);
+  sim::SyncOutage so;  // node == kNoNode: everyone
+  so.start = milliseconds(200);
+  so.stop = milliseconds(800);
+  legacy.simConfig.faults.syncOutages.push_back(so);
+
+  Experiment explicitSet = legacy;
+  auto& es = explicitSet.simConfig.faults.syncOutages.back();
+  for (net::NodeId n = 0; n < explicitSet.topo.numNodes(); ++n) {
+    es.nodes.push_back(n);
+  }
+
+  expectIdentical(runExperiment(legacy), runExperiment(explicitSet));
 }
 
 TEST(SimFaults, ZeroPlanByteIdenticalToFaultFree) {
